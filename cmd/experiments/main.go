@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§8 Figs. 17–22, the §4.2 determinize observation, the §4.3
+// exponential family, and the §5 wc speed-up).
+//
+// Usage:
+//
+//	experiments                 # every table, full 12-program suite
+//	experiments -quick          # Siemens-suite-sized programs only
+//	experiments -table fig19    # one table
+//	experiments -table fig13 -maxk 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specslice/internal/experiments"
+	"specslice/internal/workload"
+)
+
+func main() {
+	table := flag.String("table", "all", "fig13 | fig17 | fig18 | fig19 | fig20 | fig21 | fig22 | determinize | wc | all")
+	quick := flag.Bool("quick", false, "small suites only")
+	maxK := flag.Int("maxk", 7, "largest k for the fig13 exponential family")
+	flag.Parse()
+
+	needSuites := map[string]bool{
+		"fig17": true, "fig18": true, "fig19": true,
+		"fig20": true, "fig21": true, "fig22": true, "determinize": true, "all": true,
+	}[*table]
+
+	var results []*experiments.SuiteResult
+	if needSuites {
+		cfgs := workload.Benchmarks()
+		if *quick {
+			cfgs = workload.SmallBenchmarks()
+		}
+		var err error
+		results, err = experiments.RunAll(cfgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	emit := func(name, out string) {
+		if *table == "all" || *table == name {
+			fmt.Println(out)
+			fmt.Println(strings.Repeat("-", 72))
+		}
+	}
+	if needSuites {
+		emit("fig17", experiments.Fig17(results))
+		emit("fig18", experiments.Fig18(results))
+		emit("fig19", experiments.Fig19(results))
+		emit("fig20", experiments.Fig20(results))
+		emit("fig21", experiments.Fig21(results))
+		emit("fig22", experiments.Fig22(results))
+		emit("determinize", experiments.DeterminizeTable(results))
+	}
+	emit("fig13", experiments.Fig13Table(*maxK))
+	emit("wc", experiments.WcTable())
+}

@@ -1,0 +1,121 @@
+// Command specslice slices a MicroC program.
+//
+// Usage:
+//
+//	specslice -mode poly  -criterion printf[:proc] file.mc
+//	specslice -mode mono  -criterion line:17 file.mc
+//	specslice -mode weiser -criterion printf file.mc
+//	specslice -mode feature -criterion stmt:main:"prod = 1" file.mc
+//
+// Modes: poly (specialization slicing, the paper's Alg. 1), mono (Binkley's
+// monovariant executable slicing), weiser (Weiser-style baseline), feature
+// (paper §7 feature removal; the criterion seeds a *forward* slice that is
+// removed). The sliced program is printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"specslice"
+)
+
+func main() {
+	mode := flag.String("mode", "poly", "poly | mono | weiser | feature")
+	criterion := flag.String("criterion", "printf", `criterion: "printf[:proc]", "line:N", or "stmt:proc:label"`)
+	check := flag.Bool("check", false, "run the reslicing self-check (poly only)")
+	stats := flag.Bool("stats", false, "print SDG and slice statistics to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: specslice [flags] file.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := specslice.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err = prog.EliminateIndirectCalls()
+	if err != nil {
+		fatal(err)
+	}
+	g, err := prog.SDG()
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "SDG: %+v\n", g.Stats())
+	}
+
+	crit, err := parseCriterion(g, *criterion)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sl *specslice.Slice
+	switch *mode {
+	case "poly":
+		sl, err = g.SpecializationSlice(crit)
+	case "mono":
+		sl, err = g.MonovariantSlice(crit)
+	case "weiser":
+		sl, err = g.WeiserSlice(crit)
+	case "feature":
+		sl, err = g.RemoveFeature(crit)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "specialized versions: %v\n", sl.VariantCounts())
+	}
+	if *check {
+		if err := sl.SelfCheck(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "reslicing self-check passed")
+	}
+	out, err := sl.Program()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out.Source())
+}
+
+func parseCriterion(g *specslice.SDG, s string) (specslice.Criterion, error) {
+	switch {
+	case s == "printf":
+		return g.PrintfCriterion(""), nil
+	case strings.HasPrefix(s, "printf:"):
+		return g.PrintfCriterion(strings.TrimPrefix(s, "printf:")), nil
+	case strings.HasPrefix(s, "line:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "line:"))
+		if err != nil {
+			return specslice.Criterion{}, fmt.Errorf("bad line number in %q", s)
+		}
+		return g.LineCriterion(n), nil
+	case strings.HasPrefix(s, "stmt:"):
+		rest := strings.TrimPrefix(s, "stmt:")
+		proc, label, ok := strings.Cut(rest, ":")
+		if !ok {
+			return specslice.Criterion{}, fmt.Errorf("stmt criterion needs proc:label, got %q", rest)
+		}
+		return g.StmtCriterion(proc, label), nil
+	}
+	return specslice.Criterion{}, fmt.Errorf("unknown criterion %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specslice:", err)
+	os.Exit(1)
+}

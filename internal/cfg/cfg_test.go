@@ -1,0 +1,209 @@
+package cfg
+
+import (
+	"testing"
+
+	"specslice/internal/lang"
+)
+
+func buildFor(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog := lang.MustParse(src)
+	return Build(prog.Func("main"))
+}
+
+func nodeOf(t *testing.T, g *Graph, match func(lang.Stmt) bool) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Stmt != nil && match(n.Stmt) {
+			return n
+		}
+	}
+	t.Fatal("node not found")
+	return nil
+}
+
+func isAssignTo(name string) func(lang.Stmt) bool {
+	return func(s lang.Stmt) bool {
+		a, ok := s.(*lang.AssignStmt)
+		return ok && a.LHS == name
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFor(t, `
+int a; int b;
+int main() {
+  a = 1;
+  b = 2;
+  return 0;
+}`)
+	// entry -> a=1 -> b=2 -> return -> exit; entry -> exit pseudo.
+	na := nodeOf(t, g, isAssignTo("a"))
+	nb := nodeOf(t, g, isAssignTo("b"))
+	found := false
+	for _, e := range g.Succs[na.ID] {
+		if e.To == nb.ID && !e.Pseudo {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing edge a=1 -> b=2")
+	}
+	// Entry has the augmented edge to Exit.
+	aug := false
+	for _, e := range g.Succs[g.Entry.ID] {
+		if e.To == g.Exit.ID && e.Pseudo {
+			aug = true
+		}
+	}
+	if !aug {
+		t.Error("missing augmented Entry->Exit edge")
+	}
+}
+
+func TestPostdominatorsDiamond(t *testing.T) {
+	g := buildFor(t, `
+int a; int b; int c;
+int main() {
+  if (1) { a = 1; } else { b = 2; }
+  c = 3;
+  return 0;
+}`)
+	ipdom := Postdominators(g)
+	nc := nodeOf(t, g, isAssignTo("c"))
+	na := nodeOf(t, g, isAssignTo("a"))
+	nb := nodeOf(t, g, isAssignTo("b"))
+	nif := nodeOf(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.IfStmt); return ok })
+	if ipdom[na.ID] != nc.ID || ipdom[nb.ID] != nc.ID {
+		t.Errorf("ipdom(a)=%d ipdom(b)=%d, want both %d (c)", ipdom[na.ID], ipdom[nb.ID], nc.ID)
+	}
+	if ipdom[nif.ID] != nc.ID {
+		t.Errorf("ipdom(if)=%d, want %d (c joins the branches)", ipdom[nif.ID], nc.ID)
+	}
+}
+
+func TestControlDepsIfElse(t *testing.T) {
+	g := buildFor(t, `
+int a; int b; int c;
+int main() {
+  if (1) { a = 1; } else { b = 2; }
+  c = 3;
+  return 0;
+}`)
+	deps := ControlDeps(g)
+	nif := nodeOf(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.IfStmt); return ok })
+	na := nodeOf(t, g, isAssignTo("a"))
+	nc := nodeOf(t, g, isAssignTo("c"))
+	if !contains(deps[na.ID], nif.ID) {
+		t.Error("a=1 must be control dependent on the if")
+	}
+	if contains(deps[nc.ID], nif.ID) {
+		t.Error("c=3 must not be control dependent on the if (it always executes)")
+	}
+	if !contains(deps[nc.ID], g.Entry.ID) {
+		t.Error("c=3 must be control dependent on Entry")
+	}
+}
+
+func TestControlDepsLoop(t *testing.T) {
+	g := buildFor(t, `
+int a;
+int main() {
+  while (a < 3) {
+    a = a + 1;
+  }
+  return 0;
+}`)
+	deps := ControlDeps(g)
+	nw := nodeOf(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.WhileStmt); return ok })
+	na := nodeOf(t, g, isAssignTo("a"))
+	if !contains(deps[na.ID], nw.ID) {
+		t.Error("loop body must be control dependent on the loop predicate")
+	}
+}
+
+func TestReturnInBranchControlsSuffix(t *testing.T) {
+	// Statements after a conditional return are control dependent on the
+	// return (Ball–Horwitz): removing the return would wrongly execute them.
+	g := buildFor(t, `
+int a; int b;
+int main() {
+  if (a > 0) { return 1; }
+  b = 2;
+  return 0;
+}`)
+	deps := ControlDeps(g)
+	nb := nodeOf(t, g, isAssignTo("b"))
+	nret := nodeOf(t, g, func(s lang.Stmt) bool {
+		r, ok := s.(*lang.ReturnStmt)
+		return ok && r.Value != nil && lang.ExprString(r.Value) == "1"
+	})
+	if !contains(deps[nb.ID], nret.ID) {
+		t.Error("b=2 must be control dependent on the early return")
+	}
+}
+
+func TestBreakAndContinueTargets(t *testing.T) {
+	g := buildFor(t, `
+int a;
+int main() {
+  while (1) {
+    if (a > 2) { break; }
+    if (a > 1) { continue; }
+    a = a + 1;
+  }
+  return 0;
+}`)
+	nbr := nodeOf(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.BreakStmt); return ok })
+	nco := nodeOf(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.ContinueStmt); return ok })
+	nw := nodeOf(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.WhileStmt); return ok })
+	nret := nodeOf(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.ReturnStmt); return ok })
+	// break's real successor is the return (after the loop).
+	real := realSuccs(g, nbr.ID)
+	if len(real) != 1 || real[0] != nret.ID {
+		t.Errorf("break real succs = %v, want [return %d]", real, nret.ID)
+	}
+	// continue's real successor is the while predicate.
+	real = realSuccs(g, nco.ID)
+	if len(real) != 1 || real[0] != nw.ID {
+		t.Errorf("continue real succs = %v, want [while %d]", real, nw.ID)
+	}
+}
+
+func TestEveryNodeReachesExit(t *testing.T) {
+	g := buildFor(t, `
+int a;
+int main() {
+  while (1) { a = a + 1; }
+  return 0;
+}`)
+	// On the augmented graph every node postdominates into Exit; the
+	// iterative solver must terminate and assign every reachable node.
+	ipdom := Postdominators(g)
+	for _, n := range g.Nodes {
+		if n.ID != g.Exit.ID && ipdom[n.ID] == -1 {
+			// Unreachable-from-entry nodes may stay -1; none exist here.
+			t.Errorf("node %v has no postdominator", n)
+		}
+	}
+}
+
+func realSuccs(g *Graph, id int) []int {
+	var out []int
+	for _, e := range g.Succs[id] {
+		if !e.Pseudo {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

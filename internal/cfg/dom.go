@@ -1,0 +1,126 @@
+package cfg
+
+// Postdominators computes the immediate-postdominator array of g (indexed by
+// node ID; ipdom[Exit] == Exit). It uses the Cooper–Harvey–Kennedy iterative
+// algorithm on the reversed graph, considering both executable and pseudo
+// edges (the Ball–Horwitz augmented graph, on which every node reaches Exit).
+func Postdominators(g *Graph) []int {
+	n := len(g.Nodes)
+	// Reverse postorder of the *reversed* graph, rooted at Exit.
+	order := make([]int, 0, n)      // postorder of reverse graph
+	state := make([]int, n)         // 0 unvisited, 1 on stack, 2 done
+	type frame struct{ node, next int }
+	stack := []frame{{g.Exit.ID, 0}}
+	state[g.Exit.ID] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		preds := g.Preds[f.node]
+		if f.next < len(preds) {
+			p := preds[f.next].To
+			f.next++
+			if state[p] == 0 {
+				state[p] = 1
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		state[f.node] = 2
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	// rpoNum: position in reverse postorder (root first).
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, id := range order {
+		rpoNum[id] = len(order) - 1 - i
+	}
+
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[g.Exit.ID] = g.Exit.ID
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipdom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in reverse postorder of the reversed graph (Exit first).
+		for i := len(order) - 1; i >= 0; i-- {
+			id := order[i]
+			if id == g.Exit.ID {
+				continue
+			}
+			newIdom := -1
+			for _, e := range g.Succs[id] { // successors are "preds" in reversed graph
+				s := e.To
+				if rpoNum[s] == -1 || ipdom[s] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = s
+				} else {
+					newIdom = intersect(newIdom, s)
+				}
+			}
+			if newIdom != -1 && ipdom[id] != newIdom {
+				ipdom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return ipdom
+}
+
+// ControlDeps computes control dependences on the augmented CFG via the
+// Ferrante–Ottenstein–Warren construction: for each edge u→w where w does
+// not postdominate u, every node on the postdominator-tree path from w up to
+// (but excluding) ipdom(u) is control dependent on u.
+//
+// The result maps each node ID to the set of node IDs it is control
+// dependent on (its controllers). Every statement node ends up with at least
+// one controller (possibly Entry) thanks to the Entry→Exit augmented edge.
+func ControlDeps(g *Graph) [][]int {
+	ipdom := Postdominators(g)
+	deps := make([]map[int]bool, len(g.Nodes))
+	for u := range g.Nodes {
+		for _, e := range g.Succs[u] {
+			w := e.To
+			// Walk w up the postdominator tree to ipdom(u), exclusive.
+			stop := ipdom[u]
+			v := w
+			for v != stop && v != -1 {
+				if v != u { // a node is not usefully control dependent on itself here
+					if deps[v] == nil {
+						deps[v] = map[int]bool{}
+					}
+					deps[v][u] = true
+				}
+				if v == ipdom[v] {
+					break
+				}
+				v = ipdom[v]
+			}
+		}
+	}
+	out := make([][]int, len(g.Nodes))
+	for v, m := range deps {
+		for u := range m {
+			out[v] = append(out[v], u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"specslice/internal/fsa"
+	"specslice/internal/sdg"
+)
+
+// Config is a configuration of the unrolled SDG: a PDG vertex plus the
+// stack of pending call-sites, innermost first (the paper writes
+// (r23, C3 C1): called from site C3, which was entered from site C1 in
+// main).
+type Config struct {
+	Vertex sdg.VertexID
+	Stack  []sdg.SiteID
+}
+
+// CriterionSpec describes the slicing criterion as a language of
+// configurations; implementations build the query automaton A0.
+type CriterionSpec interface {
+	buildQuery(e *Encoding) (*fsa.FSA, error)
+}
+
+// Configs is an explicit finite criterion: a set of configurations.
+type Configs []Config
+
+// Vertices is the common criterion "these PDG vertices, in every calling
+// context of the unrolled SDG" (used for the paper's wc and go slices). The
+// valid calling contexts are computed with Poststar from main's entry.
+type Vertices []sdg.VertexID
+
+// SDGVertices is the SDG-level criterion "these PDG vertices with any stack
+// whatsoever" — the direct analogue of classic SDG slicing, where the
+// criterion is a vertex, not a configuration. Its stack-configuration slice
+// projects onto exactly the HRB closure slice.
+type SDGVertices []sdg.VertexID
+
+func (c Configs) buildQuery(e *Encoding) (*fsa.FSA, error) {
+	if len(c) == 0 {
+		return nil, errors.New("core: empty criterion")
+	}
+	q := fsa.New(e.PDS.NumLocs)
+	final := q.AddState()
+	q.SetFinal(final)
+	for _, cfg := range c {
+		if int(cfg.Vertex) < 0 || int(cfg.Vertex) >= len(e.G.Vertices) {
+			return nil, fmt.Errorf("core: criterion vertex %d out of range", cfg.Vertex)
+		}
+		cur := 0 // control location p
+		syms := []fsa.Symbol{e.VertexSym(cfg.Vertex)}
+		for _, s := range cfg.Stack {
+			if int(s) < 0 || int(s) >= len(e.G.Sites) {
+				return nil, fmt.Errorf("core: criterion site %d out of range", s)
+			}
+			syms = append(syms, e.SiteSym(s))
+		}
+		for i, sym := range syms {
+			var to int
+			if i == len(syms)-1 {
+				to = final
+			} else {
+				to = q.AddState()
+			}
+			q.Add(cur, sym, to)
+			cur = to
+		}
+	}
+	return q, nil
+}
+
+func (v SDGVertices) buildQuery(e *Encoding) (*fsa.FSA, error) {
+	if len(v) == 0 {
+		return nil, errors.New("core: empty criterion")
+	}
+	// Accept v·Σ_sites* for each vertex.
+	q := fsa.New(e.PDS.NumLocs)
+	final := q.AddState()
+	q.SetFinal(final)
+	for _, vid := range v {
+		q.Add(0, e.VertexSym(vid), final)
+	}
+	for _, s := range e.G.Sites {
+		q.Add(final, e.SiteSym(s.ID), final)
+	}
+	return q, nil
+}
+
+func (v Vertices) buildQuery(e *Encoding) (*fsa.FSA, error) {
+	if len(v) == 0 {
+		return nil, errors.New("core: empty criterion")
+	}
+	raw, err := SDGVertices(v).buildQuery(e)
+	if err != nil {
+		return nil, err
+	}
+	reach, err := ReachableConfigs(e)
+	if err != nil {
+		return nil, err
+	}
+	inter := fsa.Intersect(PAutomatonToFSA(raw), reach)
+	if inter.IsEmpty() {
+		return nil, errors.New("core: criterion vertices are unreachable from main")
+	}
+	return FSAToQuery(inter, e.PDS.NumLocs), nil
+}
+
+// ReachableConfigs returns a plain FSA accepting the stack words of every
+// configuration of the unrolled SDG reachable (along dependence edges) from
+// main's entry: Poststar[P]({(p, entry_main)}).
+func ReachableConfigs(e *Encoding) (*fsa.FSA, error) {
+	mainIdx, ok := e.G.ProcByName["main"]
+	if !ok {
+		return nil, errors.New("core: program has no main")
+	}
+	entry := e.G.Procs[mainIdx].Entry
+	q := fsa.New(e.PDS.NumLocs)
+	f := q.AddState()
+	q.SetFinal(f)
+	q.Add(0, e.VertexSym(entry), f)
+	post := e.PDS.Poststar(q)
+	return PAutomatonToFSA(post), nil
+}
+
+// PrintfCriterion returns the actual-in vertices of every printf call-site
+// in proc (or all procs when proc is empty) — the criterion shape used
+// throughout the paper's examples.
+func PrintfCriterion(g *sdg.Graph, proc string) []sdg.VertexID {
+	var out []sdg.VertexID
+	for _, s := range g.Sites {
+		if !s.Lib || s.Callee != "printf" {
+			continue
+		}
+		if proc != "" && g.Procs[s.CallerProc].Name != proc {
+			continue
+		}
+		out = append(out, s.ActualIns...)
+		if len(s.ActualIns) == 0 {
+			out = append(out, s.CallVertex)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package core implements the paper's primary contribution: the
+// automaton-based specialization-slicing algorithm (Alg. 1). The SDG is
+// encoded as a pushdown system (Defn. 3.2 / Fig. 8), the stack-configuration
+// slice is computed with Prestar, the result is converted to the minimal
+// reverse-deterministic (MRD) automaton A6, and the specialized SDG is read
+// out of A6's structure, together with the vertex map M_C used for the
+// soundness/completeness statement and the §8.3 reslicing self-check.
+package core
+
+import (
+	"fmt"
+
+	"specslice/internal/fsa"
+	"specslice/internal/pds"
+	"specslice/internal/sdg"
+)
+
+// Encoding is the PDS encoding of an SDG, with the symbol numbering shared
+// by every automaton the algorithm manipulates: SDG vertex v has symbol v,
+// call-site s has symbol NumVertices+s.
+type Encoding struct {
+	G   *sdg.Graph
+	PDS *pds.PDS
+	// LocOfFO maps each formal-out vertex to its dedicated control location
+	// p_fo; control location 0 is the common location p.
+	LocOfFO map[sdg.VertexID]int
+}
+
+// VertexSym returns the stack symbol of an SDG vertex.
+func (e *Encoding) VertexSym(v sdg.VertexID) fsa.Symbol { return fsa.Symbol(v) }
+
+// SiteSym returns the stack symbol of a call-site label.
+func (e *Encoding) SiteSym(s sdg.SiteID) fsa.Symbol {
+	return fsa.Symbol(len(e.G.Vertices) + int(s))
+}
+
+// IsSiteSym reports whether sym encodes a call-site label.
+func (e *Encoding) IsSiteSym(sym fsa.Symbol) bool {
+	return int(sym) >= len(e.G.Vertices)
+}
+
+// SymVertex decodes a vertex symbol.
+func (e *Encoding) SymVertex(sym fsa.Symbol) sdg.VertexID { return sdg.VertexID(sym) }
+
+// SymSite decodes a call-site symbol.
+func (e *Encoding) SymSite(sym fsa.Symbol) sdg.SiteID {
+	return sdg.SiteID(int(sym) - len(e.G.Vertices))
+}
+
+// NumSymbols returns the total symbol count (vertices + call-sites).
+func (e *Encoding) NumSymbols() int { return len(e.G.Vertices) + len(e.G.Sites) }
+
+// Alphabet lists every symbol.
+func (e *Encoding) Alphabet() []fsa.Symbol {
+	out := make([]fsa.Symbol, e.NumSymbols())
+	for i := range out {
+		out[i] = fsa.Symbol(i)
+	}
+	return out
+}
+
+// Encode builds the PDS for g following the paper's Fig. 8 schema:
+//
+//	flow/control edge u→v:      <p, u> ↪ <p, v>
+//	call edge c→e at site C:    <p, c> ↪ <p, e C>
+//	param-in edge a→f at C:     <p, a> ↪ <p, f C>
+//	param-out edge f→a at C:    <p, f> ↪ <p_f, ε> and <p_f, C> ↪ <p, a>
+//
+// Summary edges are not encoded (the algorithm does not need them).
+func Encode(g *sdg.Graph) *Encoding {
+	e := &Encoding{G: g, LocOfFO: map[sdg.VertexID]int{}}
+	p := &pds.PDS{NumLocs: 1} // location 0 is p
+	locOf := func(fo sdg.VertexID) int {
+		if l, ok := e.LocOfFO[fo]; ok {
+			return l
+		}
+		l := p.NumLocs
+		p.NumLocs++
+		e.LocOfFO[fo] = l
+		// Pop rule <p, fo> ↪ <p_fo, ε>, added once per formal-out.
+		p.AddRule(pds.Rule{P: 0, G: e.VertexSym(fo), P2: l, W: nil})
+		return l
+	}
+	for _, edge := range g.Edges() {
+		switch edge.Kind {
+		case sdg.EdgeControl, sdg.EdgeFlow:
+			p.AddRule(pds.Rule{
+				P: 0, G: e.VertexSym(edge.From), P2: 0,
+				W: []fsa.Symbol{e.VertexSym(edge.To)},
+			})
+		case sdg.EdgeCall, sdg.EdgeParamIn:
+			site := g.Vertices[edge.From].Site
+			p.AddRule(pds.Rule{
+				P: 0, G: e.VertexSym(edge.From), P2: 0,
+				W: []fsa.Symbol{e.VertexSym(edge.To), e.SiteSym(site)},
+			})
+		case sdg.EdgeParamOut:
+			// edge.From is the formal-out, edge.To the actual-out.
+			site := g.Vertices[edge.To].Site
+			l := locOf(edge.From)
+			p.AddRule(pds.Rule{
+				P: l, G: e.SiteSym(site), P2: 0,
+				W: []fsa.Symbol{e.VertexSym(edge.To)},
+			})
+		case sdg.EdgeSummary:
+			// Not encoded.
+		default:
+			panic(fmt.Sprintf("core: unknown edge kind %v", edge.Kind))
+		}
+	}
+	e.PDS = p
+	return e
+}
+
+// PAutomatonToFSA converts a P-automaton into a plain FSA accepting the
+// stack language of control location p (state 0): the configurations
+// (p, w) the automaton accepts.
+func PAutomatonToFSA(a *fsa.FSA) *fsa.FSA {
+	c := a.Clone()
+	c.SetStart(0)
+	return c.RemoveEpsilon().Trim()
+}
+
+// FSAToQuery converts a plain FSA over encoding symbols into a P-automaton
+// query: states 0..numLocs-1 are control locations, the FSA's start states
+// are fused onto control location 0 (p), and no transitions enter control
+// locations. The language must not contain the empty word (configuration
+// words always begin with a vertex symbol).
+func FSAToQuery(f *fsa.FSA, numLocs int) *fsa.FSA {
+	f = f.RemoveEpsilon().Trim()
+	q := fsa.New(numLocs + f.NumStates())
+	off := numLocs
+	for _, t := range f.Transitions() {
+		q.Add(t.From+off, t.Sym, t.To+off)
+		if f.IsStart(t.From) {
+			q.Add(0, t.Sym, t.To+off)
+		}
+	}
+	for _, s := range f.Finals() {
+		q.SetFinal(s + off)
+	}
+	return q
+}

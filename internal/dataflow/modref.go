@@ -1,0 +1,387 @@
+// Package dataflow implements the interprocedural side-effect analyses the
+// SDG builder needs: GMOD/GREF (globals a procedure may modify/reference,
+// transitively) and MustMod (globals a procedure assigns on every
+// terminating path), in the style of Cooper–Kennedy.
+package dataflow
+
+import (
+	"sort"
+
+	"specslice/internal/cfg"
+	"specslice/internal/lang"
+)
+
+// StringSet is a set of variable names.
+type StringSet map[string]bool
+
+// Clone returns a copy of s.
+func (s StringSet) Clone() StringSet {
+	c := make(StringSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// Sorted returns the members in sorted order.
+func (s StringSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports set equality.
+func (s StringSet) Equal(o StringSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ModRef holds the per-procedure side-effect summaries.
+type ModRef struct {
+	// GMOD maps each function to the globals it may modify, including
+	// through callees.
+	GMOD map[string]StringSet
+	// GREF maps each function to the globals it may reference, including
+	// through callees.
+	GREF map[string]StringSet
+	// MustMod maps each function to the globals it definitely assigns on
+	// every path from entry to exit, including through callees.
+	MustMod map[string]StringSet
+	// UEREF maps each function to the globals it may reference before
+	// definitely assigning them (upward-exposed references), including
+	// through callees. The SDG builder creates formal-in vertices for
+	// UEREF ∪ (GMOD − MustMod), matching the paper's
+	// MayRef ∪ (MayMod − MustMod) rule (§2.1.1).
+	UEREF map[string]StringSet
+}
+
+// FormalInGlobals returns the globals needing formal-in vertices for fn:
+// UEREF(fn) ∪ (GMOD(fn) − MustMod(fn)).
+func (mr *ModRef) FormalInGlobals(fn string) StringSet {
+	out := mr.UEREF[fn].Clone()
+	for g := range mr.GMOD[fn] {
+		if !mr.MustMod[fn][g] {
+			out[g] = true
+		}
+	}
+	return out
+}
+
+// ComputeModRef computes GMOD, GREF, and MustMod for every function.
+// Indirect calls are treated conservatively as calls to any address-taken
+// function (Andersen-style, flow-insensitive); programs transformed by the
+// funcptr package contain no indirect calls and get precise results.
+func ComputeModRef(prog *lang.Program) *ModRef {
+	globals := StringSet{}
+	for _, g := range prog.Globals {
+		if !g.IsFnPtr {
+			globals[g.Name] = true
+		}
+	}
+	addressTaken := addressTakenFuncs(prog)
+
+	mr := &ModRef{
+		GMOD:    map[string]StringSet{},
+		GREF:    map[string]StringSet{},
+		MustMod: map[string]StringSet{},
+		UEREF:   map[string]StringSet{},
+	}
+	for _, f := range prog.Funcs {
+		mr.GMOD[f.Name] = StringSet{}
+		mr.GREF[f.Name] = StringSet{}
+		mr.MustMod[f.Name] = globals.Clone() // top; shrinks to greatest fixed point
+		mr.UEREF[f.Name] = StringSet{}
+	}
+
+	// GMOD/GREF: least fixed point, growing.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs {
+			gm, gr := mr.GMOD[fn.Name], mr.GREF[fn.Name]
+			before := len(gm) + len(gr)
+			for _, s := range fn.Stmts() {
+				mr.addStmtModRef(prog, fn, s, globals, addressTaken, gm, gr)
+			}
+			if len(gm)+len(gr) != before {
+				changed = true
+			}
+		}
+	}
+
+	// MustMod: greatest fixed point, shrinking. Needs a per-function
+	// forward must-analysis over the executable CFG.
+	graphs := map[string]*cfg.Graph{}
+	for _, fn := range prog.Funcs {
+		graphs[fn.Name] = cfg.Build(fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs {
+			outs := mustDefOuts(prog, fn, graphs[fn.Name], globals, addressTaken, mr)
+			got := outs[graphs[fn.Name].Exit.ID]
+			if !got.Equal(mr.MustMod[fn.Name]) {
+				mr.MustMod[fn.Name] = got
+				changed = true
+			}
+		}
+	}
+
+	// UEREF: least fixed point, growing. A global is upward-exposed in fn
+	// if some node uses it (directly, or via a callee's UEREF) at a point
+	// where it is not yet definitely assigned.
+	mustOuts := map[string][]StringSet{}
+	for _, fn := range prog.Funcs {
+		mustOuts[fn.Name] = mustDefOuts(prog, fn, graphs[fn.Name], globals, addressTaken, mr)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs {
+			g := graphs[fn.Name]
+			outs := mustOuts[fn.Name]
+			ue := mr.UEREF[fn.Name]
+			before := len(ue)
+			for i, node := range g.Nodes {
+				uses := nodeGlobalUses(prog, node, globals, addressTaken, mr)
+				if len(uses) == 0 {
+					continue
+				}
+				in := mustDefIn(g, outs, i, globals)
+				for v := range uses {
+					if !in[v] {
+						ue[v] = true
+					}
+				}
+			}
+			if len(ue) != before {
+				changed = true
+			}
+		}
+	}
+	return mr
+}
+
+// mustDefIn computes the set of globals definitely assigned before node i
+// begins, as the meet over its executable predecessors.
+func mustDefIn(g *cfg.Graph, outs []StringSet, i int, globals StringSet) StringSet {
+	if g.Nodes[i].Kind == cfg.KindEntry {
+		return StringSet{}
+	}
+	var in StringSet
+	first := true
+	for _, e := range g.Preds[i] {
+		if e.Pseudo {
+			continue
+		}
+		if first {
+			in = outs[e.To].Clone()
+			first = false
+		} else {
+			in = intersect(in, outs[e.To])
+		}
+	}
+	if first {
+		return globals.Clone() // unreachable
+	}
+	return in
+}
+
+// nodeGlobalUses returns the globals referenced by the node: direct variable
+// references in its expressions, plus the callee's upward-exposed globals
+// for call nodes.
+func nodeGlobalUses(prog *lang.Program, node *cfg.Node, globals StringSet, addressTaken []string, mr *ModRef) StringSet {
+	uses := StringSet{}
+	if node.Stmt == nil {
+		return uses
+	}
+	for _, e := range lang.StmtExprs(node.Stmt) {
+		for _, v := range lang.ExprVars(e) {
+			if globals[v] {
+				uses[v] = true
+			}
+		}
+	}
+	if c, ok := node.Stmt.(*lang.CallStmt); ok {
+		for _, callee := range calleesOf(prog, c, addressTaken) {
+			for g := range mr.UEREF[callee] {
+				uses[g] = true
+			}
+		}
+	}
+	return uses
+}
+
+func (mr *ModRef) addStmtModRef(prog *lang.Program, fn *lang.FuncDecl, s lang.Stmt, globals StringSet, addressTaken []string, gm, gr StringSet) {
+	refExpr := func(e lang.Expr) {
+		for _, v := range lang.ExprVars(e) {
+			if globals[v] {
+				gr[v] = true
+			}
+		}
+	}
+	switch x := s.(type) {
+	case *lang.DeclStmt:
+		refExpr(x.Init)
+	case *lang.AssignStmt:
+		refExpr(x.RHS)
+		if globals[x.LHS] {
+			gm[x.LHS] = true
+		}
+	case *lang.IfStmt:
+		refExpr(x.Cond)
+	case *lang.WhileStmt:
+		refExpr(x.Cond)
+	case *lang.ReturnStmt:
+		refExpr(x.Value)
+	case *lang.PrintfStmt:
+		for _, a := range x.Args {
+			refExpr(a)
+		}
+	case *lang.ScanfStmt:
+		if globals[x.Var] {
+			gm[x.Var] = true
+		}
+	case *lang.CallStmt:
+		for _, a := range x.Args {
+			refExpr(a)
+		}
+		if globals[x.Target] {
+			gm[x.Target] = true
+		}
+		for _, callee := range calleesOf(prog, x, addressTaken) {
+			for g := range mr.GMOD[callee] {
+				gm[g] = true
+			}
+			for g := range mr.GREF[callee] {
+				gr[g] = true
+			}
+		}
+	}
+}
+
+// mustDefOuts runs the intraprocedural forward must-assigned analysis using
+// the current MustMod summaries for callees, returning the per-node
+// "definitely assigned at node end" sets.
+func mustDefOuts(prog *lang.Program, fn *lang.FuncDecl, g *cfg.Graph, globals StringSet, addressTaken []string, mr *ModRef) []StringSet {
+	n := len(g.Nodes)
+	// out[i] = set of globals definitely assigned on every path from entry
+	// to the end of node i. Initialize to top (all globals) except entry.
+	out := make([]StringSet, n)
+	for i := range out {
+		out[i] = globals.Clone()
+	}
+	out[g.Entry.ID] = StringSet{}
+
+	gen := func(node *cfg.Node) StringSet {
+		gs := StringSet{}
+		if node.Stmt == nil {
+			return gs
+		}
+		switch x := node.Stmt.(type) {
+		case *lang.AssignStmt:
+			if globals[x.LHS] {
+				gs[x.LHS] = true
+			}
+		case *lang.ScanfStmt:
+			if globals[x.Var] {
+				gs[x.Var] = true
+			}
+		case *lang.CallStmt:
+			if globals[x.Target] {
+				gs[x.Target] = true
+			}
+			callees := calleesOf(prog, x, addressTaken)
+			if len(callees) > 0 {
+				meet := mr.MustMod[callees[0]].Clone()
+				for _, c := range callees[1:] {
+					meet = intersect(meet, mr.MustMod[c])
+				}
+				for v := range meet {
+					gs[v] = true
+				}
+			}
+		}
+		return gs
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			node := g.Nodes[i]
+			if node.Kind == cfg.KindEntry {
+				continue
+			}
+			var in StringSet
+			first := true
+			for _, e := range g.Preds[i] {
+				if e.Pseudo {
+					continue
+				}
+				if first {
+					in = out[e.To].Clone()
+					first = false
+				} else {
+					in = intersect(in, out[e.To])
+				}
+			}
+			if first { // unreachable node
+				in = globals.Clone()
+			}
+			for v := range gen(node) {
+				in[v] = true
+			}
+			if !in.Equal(out[i]) {
+				out[i] = in
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+func intersect(a, b StringSet) StringSet {
+	out := StringSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// addressTakenFuncs returns the functions whose address is taken anywhere in
+// the program (assigned to a fnptr), sorted for determinism.
+func addressTakenFuncs(prog *lang.Program) []string {
+	set := StringSet{}
+	for _, fn := range prog.Funcs {
+		for _, s := range fn.Stmts() {
+			for _, e := range lang.StmtExprs(s) {
+				lang.WalkExprs(e, func(x lang.Expr) {
+					if fr, ok := x.(*lang.FuncRef); ok {
+						set[fr.Name] = true
+					}
+				})
+			}
+		}
+	}
+	return set.Sorted()
+}
+
+// calleesOf resolves the possible callees of a call statement: the named
+// function for direct calls, or every address-taken function for indirect
+// calls.
+func calleesOf(prog *lang.Program, c *lang.CallStmt, addressTaken []string) []string {
+	if !c.Indirect {
+		return []string{c.Callee}
+	}
+	return addressTaken
+}

@@ -1,0 +1,147 @@
+package dataflow
+
+import (
+	"testing"
+
+	"specslice/internal/lang"
+)
+
+func modref(t *testing.T, src string) *ModRef {
+	t.Helper()
+	return ComputeModRef(lang.MustParse(src))
+}
+
+func TestTransitiveGMOD(t *testing.T) {
+	mr := modref(t, `
+int g;
+void leaf() { g = 1; }
+void mid() { leaf(); }
+int main() { mid(); return 0; }
+`)
+	for _, fn := range []string{"leaf", "mid", "main"} {
+		if !mr.GMOD[fn]["g"] {
+			t.Errorf("GMOD(%s) missing g", fn)
+		}
+		if !mr.MustMod[fn]["g"] {
+			t.Errorf("MustMod(%s) missing g (unconditional chain)", fn)
+		}
+	}
+}
+
+func TestMustModBranches(t *testing.T) {
+	mr := modref(t, `
+int g; int h;
+void both(int c) {
+  if (c > 0) { g = 1; h = 1; } else { g = 2; }
+}
+int main() { both(1); return 0; }
+`)
+	if !mr.MustMod["both"]["g"] {
+		t.Error("g assigned on both branches: MustMod must contain it")
+	}
+	if mr.MustMod["both"]["h"] {
+		t.Error("h assigned on one branch only: MustMod must not contain it")
+	}
+	if !mr.GMOD["both"]["h"] {
+		t.Error("GMOD must contain h")
+	}
+}
+
+func TestMustModLoopBody(t *testing.T) {
+	mr := modref(t, `
+int g;
+void loopy(int n) {
+  while (n > 0) { g = 1; n = n - 1; }
+}
+int main() { loopy(3); return 0; }
+`)
+	if mr.MustMod["loopy"]["g"] {
+		t.Error("loop body may not execute: g must not be in MustMod")
+	}
+	if !mr.FormalInGlobals("loopy")["g"] {
+		t.Error("g in GMOD−MustMod needs a formal-in (old value may survive)")
+	}
+}
+
+func TestMustModRecursionGreatestFixedPoint(t *testing.T) {
+	// Every path through rec assigns g (both the base case and the
+	// recursive case), so the greatest fixed point keeps g.
+	mr := modref(t, `
+int g;
+void rec(int n) {
+  if (n > 0) { rec(n - 1); } else { g = 0; }
+  g = g + 1;
+}
+int main() { rec(2); return 0; }
+`)
+	if !mr.MustMod["rec"]["g"] {
+		t.Error("rec assigns g on every path; MustMod must contain g")
+	}
+}
+
+func TestUERefThroughCallOrder(t *testing.T) {
+	// writerThenReader assigns g before calling reader, so g is NOT
+	// upward-exposed there; readerFirst is the opposite.
+	mr := modref(t, `
+int g;
+int reader() { return g; }
+void writerThenReader() { g = 1; int x = reader(); }
+void readerFirst() { int x = reader(); g = 1; }
+int main() { writerThenReader(); readerFirst(); return 0; }
+`)
+	if mr.UEREF["writerThenReader"]["g"] {
+		t.Error("g defined before the reading call: not upward-exposed")
+	}
+	if !mr.UEREF["readerFirst"]["g"] {
+		t.Error("g read by callee before any def: upward-exposed")
+	}
+}
+
+func TestScanfMods(t *testing.T) {
+	mr := modref(t, `
+int g;
+void read() { scanf("%d", &g); }
+int main() { read(); printf("%d", g); return 0; }
+`)
+	if !mr.GMOD["read"]["g"] || !mr.MustMod["read"]["g"] {
+		t.Errorf("scanf into global: GMOD=%v MustMod=%v", mr.GMOD["read"].Sorted(), mr.MustMod["read"].Sorted())
+	}
+}
+
+func TestIndirectCallConservative(t *testing.T) {
+	mr := modref(t, `
+int g; int h;
+void f1() { g = 1; }
+void f2() { h = 1; }
+int main() {
+  fnptr p;
+  p = f1;
+  if (g > 0) { p = f2; }
+  p();
+  return 0;
+}
+`)
+	// Indirect call may reach any address-taken function.
+	if !mr.GMOD["main"]["g"] || !mr.GMOD["main"]["h"] {
+		t.Errorf("GMOD(main) = %v, want g and h via the indirect call", mr.GMOD["main"].Sorted())
+	}
+	// But must-mod cannot assume a particular target.
+	if mr.MustMod["main"]["h"] {
+		t.Error("MustMod(main) must not contain h (the call may hit f1)")
+	}
+}
+
+func TestStringSetHelpers(t *testing.T) {
+	s := StringSet{"b": true, "a": true}
+	if got := s.Sorted(); got[0] != "a" || got[1] != "b" {
+		t.Errorf("Sorted = %v", got)
+	}
+	c := s.Clone()
+	c["c"] = true
+	if s["c"] {
+		t.Error("Clone aliases the original")
+	}
+	if !s.Equal(StringSet{"a": true, "b": true}) || s.Equal(c) {
+		t.Error("Equal wrong")
+	}
+}

@@ -1,0 +1,204 @@
+package emit
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"specslice/internal/core"
+	"specslice/internal/interp"
+	"specslice/internal/lang"
+	"specslice/internal/sdg"
+)
+
+const fig1Src = `
+int g1; int g2; int g3;
+
+void p(int a, int b) {
+  g1 = a;
+  g2 = b;
+  g3 = g2;
+}
+
+int main() {
+  g2 = 100;
+  p(g2, 2);
+  p(g2, 3);
+  p(4, g1 + g2);
+  printf("%d", g2);
+  return 0;
+}
+`
+
+const fig2Src = `
+int g1; int g2;
+
+void s(int a, int b) {
+  g1 = b;
+  g2 = a;
+}
+
+void r(int k) {
+  if (k > 0) {
+    s(g1, g2);
+    r(k - 1);
+    s(g1, g2);
+  }
+}
+
+int main() {
+  g1 = 1;
+  g2 = 2;
+  r(3);
+  printf("%d\n", g1);
+  return 0;
+}
+`
+
+func specializeAndEmit(t *testing.T, src string) (*lang.Program, *lang.Program) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	g := sdg.MustBuild(prog)
+	crit := core.PrintfCriterion(g, "main")
+	var cfgs []core.Config
+	for _, v := range crit {
+		cfgs = append(cfgs, core.Config{Vertex: v})
+	}
+	res, err := core.Specialize(g, core.Configs(cfgs))
+	if err != nil {
+		t.Fatalf("Specialize: %v", err)
+	}
+	out, err := Program(g, res.Variants())
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	return prog, out
+}
+
+func TestFig1EmittedProgram(t *testing.T) {
+	_, out := specializeAndEmit(t, fig1Src)
+	text := lang.Print(out)
+
+	// Shape checks against the paper's Fig. 1(b).
+	if !strings.Contains(text, "p_1(int b)") && !strings.Contains(text, "p_2(int b)") {
+		t.Errorf("no one-parameter specialization of p:\n%s", text)
+	}
+	if !strings.Contains(text, "int a, int b") {
+		t.Errorf("no two-parameter specialization of p:\n%s", text)
+	}
+	if strings.Contains(text, "g3") {
+		t.Errorf("g3 must be sliced away:\n%s", text)
+	}
+	if strings.Contains(text, "g2 = 100") {
+		t.Errorf("dead initialization g2 = 100 must be sliced away:\n%s", text)
+	}
+
+	// Re-parse and re-analyze: the emitted text must be a valid program.
+	re, err := lang.Parse(text)
+	if err != nil {
+		t.Fatalf("emitted program does not reparse: %v\n%s", err, text)
+	}
+	if _, err := sdg.Build(re); err != nil {
+		t.Fatalf("emitted program does not re-analyze: %v", err)
+	}
+}
+
+func TestFig1Semantics(t *testing.T) {
+	orig, out := specializeAndEmit(t, fig1Src)
+	r1, err := interp.Run(orig, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(out, interp.Options{})
+	if err != nil {
+		t.Fatalf("emitted program fails to run: %v\n%s", err, lang.Print(out))
+	}
+	if !reflect.DeepEqual(r1.Output, r2.Output) {
+		t.Errorf("outputs differ: original %v, slice %v", r1.Output, r2.Output)
+	}
+	if r2.Steps >= r1.Steps {
+		t.Errorf("slice runs %d steps, original %d; expected fewer", r2.Steps, r1.Steps)
+	}
+}
+
+func TestFig2EmittedMutualRecursion(t *testing.T) {
+	orig, out := specializeAndEmit(t, fig2Src)
+	text := lang.Print(out)
+	// Specialized r variants must exist and be mutually recursive.
+	if !strings.Contains(text, "r_1") || !strings.Contains(text, "r_2") {
+		t.Fatalf("expected r_1 and r_2:\n%s", text)
+	}
+	r1, err := interp.Run(orig, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(out, interp.Options{})
+	if err != nil {
+		t.Fatalf("emitted program fails: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(r1.Output, r2.Output) {
+		t.Errorf("outputs differ: %v vs %v\n%s", r1.Output, r2.Output, text)
+	}
+}
+
+// TestDeadLocalNotEmitted reproduces the paper's §1 "flawed method" example:
+// z = 3 must appear in the variant that needs it and not in the other.
+func TestDeadLocalNotEmitted(t *testing.T) {
+	src := `
+int g1; int g2;
+
+void p(int a, int b) {
+  g1 = a;
+  int z = 3;
+  g2 = b + z;
+}
+
+int main() {
+  p(11, 4);
+  p(g2, 2);
+  printf("%d", g1);
+  return 0;
+}
+`
+	_, out := specializeAndEmit(t, src)
+	// Two variants of p: one with g1 = a only (no z), one with z and g2.
+	var withZ, withoutZ int
+	for _, fn := range out.Funcs {
+		if !strings.HasPrefix(fn.Name, "p") {
+			continue
+		}
+		text := lang.Print(&lang.Program{Funcs: []*lang.FuncDecl{fn}})
+		// Force text to include a main so Print works standalone: just
+		// search the function body instead.
+		if strings.Contains(text, "z = 3") {
+			withZ++
+		} else {
+			withoutZ++
+		}
+	}
+	if withZ != 1 || withoutZ != 1 {
+		t.Errorf("z = 3 appears in %d variants and is absent from %d; want 1 and 1\n%s",
+			withZ, withoutZ, lang.Print(out))
+	}
+}
+
+func TestEmitPreservesOrigins(t *testing.T) {
+	orig, out := specializeAndEmit(t, fig1Src)
+	origIDs := map[lang.NodeID]bool{}
+	for _, fn := range orig.Funcs {
+		for _, s := range fn.Stmts() {
+			origIDs[s.Base().OriginID()] = true
+		}
+	}
+	for _, fn := range out.Funcs {
+		for _, s := range fn.Stmts() {
+			if d, ok := s.(*lang.DeclStmt); ok && d.Init == nil {
+				continue // synthesized declarations have no origin
+			}
+			if !origIDs[s.Base().OriginID()] {
+				t.Errorf("emitted statement at %s has origin %d not in the source program",
+					s.Base().Pos, s.Base().OriginID())
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specslice/internal/workload"
+)
+
+func TestRunSuiteProducesAllMetrics(t *testing.T) {
+	cfg := workload.SmallBenchmarks()[0]
+	res, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slices) == 0 {
+		t.Fatal("no slices taken")
+	}
+	for i, s := range res.Slices {
+		if s.ClosureVertices == 0 || s.PolyVertices == 0 || s.MonoVertices == 0 {
+			t.Errorf("slice %d has zero sizes: %+v", i, s)
+		}
+		if s.PolyVertices < s.ClosureVertices {
+			t.Errorf("slice %d: polyvariant size %d below closure %d (violates completeness)",
+				i, s.PolyVertices, s.ClosureVertices)
+		}
+		if s.MonoVertices < s.ClosureVertices {
+			t.Errorf("slice %d: monovariant size %d below closure %d", i, s.MonoVertices, s.ClosureVertices)
+		}
+		if len(s.VariantCounts) == 0 {
+			t.Errorf("slice %d: no variants recorded", i)
+		}
+	}
+}
+
+// TestDistributionShape checks the paper's Fig. 18 qualitative claims on
+// the small suites: the vast majority of procedures get a single version
+// and the version count stays in single digits.
+func TestDistributionShape(t *testing.T) {
+	results, err := RunAll(workload.SmallBenchmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, multi, maxVersions := 0, 0, 0
+	for _, r := range results {
+		for _, s := range r.Slices {
+			for _, n := range s.VariantCounts {
+				if n == 1 {
+					single++
+				} else {
+					multi++
+				}
+				if n > maxVersions {
+					maxVersions = n
+				}
+			}
+		}
+	}
+	frac := float64(single) / float64(single+multi)
+	if frac < 0.80 {
+		t.Errorf("single-version share = %.1f%%, want ≥ 80%% (paper: 90.6%%)", 100*frac)
+	}
+	if maxVersions > 9 {
+		t.Errorf("max versions = %d, want single digits (paper max: 6)", maxVersions)
+	}
+	if multi == 0 {
+		t.Error("no multi-version procedures at all; the suite should exercise specialization")
+	}
+}
+
+// TestGrowthShape checks Fig. 19's qualitative claims: modest growth over
+// the closure slice, with polyvariant replication at least matching the
+// monovariant extras overall.
+func TestGrowthShape(t *testing.T) {
+	results, err := RunAll(workload.SmallBenchmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mono, poly []float64
+	for _, r := range results {
+		for _, s := range r.Slices {
+			mono = append(mono, s.MonoPctIncrease)
+			poly = append(poly, s.PolyPctIncrease)
+			if s.MonoPctIncrease < 0 || s.PolyPctIncrease < 0 {
+				t.Errorf("%s: negative growth (mono %.1f, poly %.1f)", r.Config.Name, s.MonoPctIncrease, s.PolyPctIncrease)
+			}
+		}
+	}
+	gm, gp := GeoMean(mono), GeoMean(poly)
+	if gm > 25 || gp > 30 {
+		t.Errorf("growth too large: mono %.1f%%, poly %.1f%% (paper: 7.1%%, 9.4%%)", gm, gp)
+	}
+	if gp < gm {
+		t.Errorf("polyvariant growth %.1f%% below monovariant %.1f%%; paper has poly ≥ mono", gp, gm)
+	}
+	if gp == 0 {
+		t.Error("no replication at all; suites should exercise specialization")
+	}
+}
+
+func TestFig13TableExponential(t *testing.T) {
+	out := Fig13Table(5)
+	if !strings.Contains(out, "31") { // 2^5 − 1
+		t.Errorf("fig13 table missing 2^5−1 = 31:\n%s", out)
+	}
+}
+
+func TestWcTableSpeedup(t *testing.T) {
+	out := WcTable()
+	if strings.Contains(out, "error") {
+		t.Fatalf("wc table failed:\n%s", out)
+	}
+	if !strings.Contains(out, "geomean") {
+		t.Errorf("wc table incomplete:\n%s", out)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	results, err := RunAll(workload.SmallBenchmarks()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, table := range map[string]string{
+		"fig17": Fig17(results), "fig18": Fig18(results), "fig19": Fig19(results),
+		"fig20": Fig20(results), "fig21": Fig21(results), "fig22": Fig22(results),
+		"det": DeterminizeTable(results),
+	} {
+		if len(strings.Split(table, "\n")) < 3 {
+			t.Errorf("table %s too short:\n%s", name, table)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{0, 0, 0}); g != 0 {
+		t.Errorf("GeoMean(zeros) = %f", g)
+	}
+	// 10% and 21% compose to ~15.4% ((1.1*1.21)^(1/2)-1).
+	g := GeoMean([]float64{10, 21})
+	if g < 15.3 || g > 15.5 {
+		t.Errorf("GeoMean(10,21) = %f, want ~15.4", g)
+	}
+}

@@ -1,0 +1,505 @@
+// Package fsa implements the nondeterministic and deterministic finite
+// automata, and the operations on them — reverse, epsilon removal,
+// determinization (subset construction), minimization (Hopcroft),
+// complement, intersection, language equality, and relabeling — that the
+// specialization-slicing algorithm composes (paper Alg. 1, lines 4–8, and
+// the §7/§8.3 extensions). It plays the role OpenFST plays in the paper's
+// implementation.
+package fsa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is an input symbol. Symbols are small non-negative integers
+// assigned by the caller; Epsilon marks spontaneous transitions.
+type Symbol int
+
+// Epsilon is the empty-word pseudo-symbol.
+const Epsilon Symbol = -1
+
+// Transition is one labeled edge.
+type Transition struct {
+	From int
+	Sym  Symbol
+	To   int
+}
+
+// FSA is a finite automaton with a set of start states, possibly
+// nondeterministic, possibly with epsilon transitions.
+type FSA struct {
+	numStates int
+	starts    map[int]bool
+	finals    map[int]bool
+	out       [][]Transition
+	// present tracks which (from, sym, to) exist, to deduplicate.
+	present map[Transition]bool
+}
+
+// New returns an automaton with n states and no transitions.
+func New(n int) *FSA {
+	return &FSA{
+		numStates: n,
+		starts:    map[int]bool{},
+		finals:    map[int]bool{},
+		out:       make([][]Transition, n),
+		present:   map[Transition]bool{},
+	}
+}
+
+// NumStates returns the state count.
+func (a *FSA) NumStates() int { return a.numStates }
+
+// AddState appends a state, returning its index.
+func (a *FSA) AddState() int {
+	a.numStates++
+	a.out = append(a.out, nil)
+	return a.numStates - 1
+}
+
+// SetStart marks s as a start state.
+func (a *FSA) SetStart(s int) { a.starts[s] = true }
+
+// SetFinal marks s as accepting.
+func (a *FSA) SetFinal(s int) { a.finals[s] = true }
+
+// IsStart reports whether s is a start state.
+func (a *FSA) IsStart(s int) bool { return a.starts[s] }
+
+// IsFinal reports whether s accepts.
+func (a *FSA) IsFinal(s int) bool { return a.finals[s] }
+
+// Starts returns the start states, sorted.
+func (a *FSA) Starts() []int { return sortedKeys(a.starts) }
+
+// Finals returns the accepting states, sorted.
+func (a *FSA) Finals() []int { return sortedKeys(a.finals) }
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Add inserts a transition (deduplicated). It reports whether the
+// transition was new.
+func (a *FSA) Add(from int, sym Symbol, to int) bool {
+	t := Transition{from, sym, to}
+	if a.present[t] {
+		return false
+	}
+	a.present[t] = true
+	a.out[from] = append(a.out[from], t)
+	return true
+}
+
+// Has reports whether the transition exists.
+func (a *FSA) Has(from int, sym Symbol, to int) bool {
+	return a.present[Transition{from, sym, to}]
+}
+
+// Out returns the transitions leaving s.
+func (a *FSA) Out(s int) []Transition { return a.out[s] }
+
+// Transitions returns every transition, ordered by (from, sym, to).
+func (a *FSA) Transitions() []Transition {
+	var out []Transition
+	for _, ts := range a.out {
+		out = append(out, ts...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].Sym != out[j].Sym {
+			return out[i].Sym < out[j].Sym
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NumTransitions returns the transition count.
+func (a *FSA) NumTransitions() int { return len(a.present) }
+
+// Alphabet returns the non-epsilon symbols appearing on transitions, sorted.
+func (a *FSA) Alphabet() []Symbol {
+	set := map[Symbol]bool{}
+	for t := range a.present {
+		if t.Sym != Epsilon {
+			set[t.Sym] = true
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// epsClosure expands a state set across epsilon transitions.
+func (a *FSA) epsClosure(set map[int]bool) map[int]bool {
+	work := make([]int, 0, len(set))
+	for s := range set {
+		work = append(work, s)
+	}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range a.out[s] {
+			if t.Sym == Epsilon && !set[t.To] {
+				set[t.To] = true
+				work = append(work, t.To)
+			}
+		}
+	}
+	return set
+}
+
+// Accepts reports whether the automaton accepts the word.
+func (a *FSA) Accepts(word []Symbol) bool {
+	cur := map[int]bool{}
+	for s := range a.starts {
+		cur[s] = true
+	}
+	cur = a.epsClosure(cur)
+	for _, sym := range word {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, t := range a.out[s] {
+				if t.Sym == sym {
+					next[t.To] = true
+				}
+			}
+		}
+		cur = a.epsClosure(next)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for s := range cur {
+		if a.finals[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsFrom reports whether the automaton accepts word when started in
+// the given state (rather than the start set). P-automata use this to test
+// configuration acceptance: state = control location, word = stack.
+func (a *FSA) AcceptsFrom(state int, word []Symbol) bool {
+	cur := a.epsClosure(map[int]bool{state: true})
+	for _, sym := range word {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, t := range a.out[s] {
+				if t.Sym == sym {
+					next[t.To] = true
+				}
+			}
+		}
+		cur = a.epsClosure(next)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for s := range cur {
+		if a.finals[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Reverse returns an automaton for the reversed language: every transition
+// is flipped and start/final sets swap.
+func (a *FSA) Reverse() *FSA {
+	r := New(a.numStates)
+	for t := range a.present {
+		r.Add(t.To, t.Sym, t.From)
+	}
+	for s := range a.finals {
+		r.SetStart(s)
+	}
+	for s := range a.starts {
+		r.SetFinal(s)
+	}
+	return r
+}
+
+// RemoveEpsilon returns an equivalent automaton without epsilon transitions.
+func (a *FSA) RemoveEpsilon() *FSA {
+	r := New(a.numStates)
+	for s := 0; s < a.numStates; s++ {
+		cl := a.epsClosure(map[int]bool{s: true})
+		for c := range cl {
+			if a.finals[c] {
+				r.SetFinal(s)
+			}
+			for _, t := range a.out[c] {
+				if t.Sym != Epsilon {
+					r.Add(s, t.Sym, t.To)
+				}
+			}
+		}
+	}
+	for s := range a.starts {
+		r.SetStart(s)
+	}
+	return r.Trim()
+}
+
+// Determinize performs the subset construction, returning a deterministic
+// automaton (single start state, no epsilon transitions, at most one
+// transition per (state, symbol)). Missing transitions mean rejection.
+func (a *FSA) Determinize() *FSA {
+	start := a.epsClosure(boolSet(a.Starts()))
+	key := setKey(start)
+	index := map[string]int{key: 0}
+	sets := []map[int]bool{start}
+	d := New(1)
+	if anyFinal(a, start) {
+		d.SetFinal(0)
+	}
+	d.SetStart(0)
+	work := []int{0}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Group moves by symbol.
+		moves := map[Symbol]map[int]bool{}
+		for s := range sets[cur] {
+			for _, t := range a.out[s] {
+				if t.Sym == Epsilon {
+					continue
+				}
+				if moves[t.Sym] == nil {
+					moves[t.Sym] = map[int]bool{}
+				}
+				moves[t.Sym][t.To] = true
+			}
+		}
+		syms := make([]Symbol, 0, len(moves))
+		for s := range moves {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, sym := range syms {
+			next := a.epsClosure(moves[sym])
+			k := setKey(next)
+			idx, ok := index[k]
+			if !ok {
+				idx = d.AddState()
+				index[k] = idx
+				sets = append(sets, next)
+				if anyFinal(a, next) {
+					d.SetFinal(idx)
+				}
+				work = append(work, idx)
+			}
+			d.Add(cur, sym, idx)
+		}
+	}
+	return d
+}
+
+func boolSet(xs []int) map[int]bool {
+	m := map[int]bool{}
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+func anyFinal(a *FSA, set map[int]bool) bool {
+	for s := range set {
+		if a.finals[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func setKey(set map[int]bool) string {
+	xs := sortedKeys(set)
+	var sb strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%d,", x)
+	}
+	return sb.String()
+}
+
+// IsDeterministic reports whether the automaton has a single start state,
+// no epsilon transitions, and at most one transition per (state, symbol).
+func (a *FSA) IsDeterministic() bool {
+	if len(a.starts) != 1 {
+		return false
+	}
+	for s := 0; s < a.numStates; s++ {
+		seen := map[Symbol]bool{}
+		for _, t := range a.out[s] {
+			if t.Sym == Epsilon || seen[t.Sym] {
+				return false
+			}
+			seen[t.Sym] = true
+		}
+	}
+	return true
+}
+
+// IsReverseDeterministic reports whether the reversed automaton is
+// deterministic — the defining property of the paper's A6 (Obs. 3.11).
+func (a *FSA) IsReverseDeterministic() bool {
+	return a.Reverse().IsDeterministic()
+}
+
+// Trim removes states that are not both reachable from a start state and
+// able to reach a final state, remapping state indices.
+func (a *FSA) Trim() *FSA {
+	reach := boolSet(a.Starts())
+	work := a.Starts()
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range a.out[s] {
+			if !reach[t.To] {
+				reach[t.To] = true
+				work = append(work, t.To)
+			}
+		}
+	}
+	// Co-reachable: backward from finals.
+	back := make([][]int, a.numStates)
+	for t := range a.present {
+		back[t.To] = append(back[t.To], t.From)
+	}
+	co := boolSet(a.Finals())
+	work = a.Finals()
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range back[s] {
+			if !co[p] {
+				co[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	keep := map[int]int{}
+	for s := 0; s < a.numStates; s++ {
+		if reach[s] && co[s] {
+			keep[s] = len(keep)
+		}
+	}
+	r := New(len(keep))
+	for t := range a.present {
+		f, ok1 := keep[t.From]
+		g, ok2 := keep[t.To]
+		if ok1 && ok2 {
+			r.Add(f, t.Sym, g)
+		}
+	}
+	for s := range a.starts {
+		if n, ok := keep[s]; ok {
+			r.SetStart(n)
+		}
+	}
+	for s := range a.finals {
+		if n, ok := keep[s]; ok {
+			r.SetFinal(n)
+		}
+	}
+	return r
+}
+
+// IsEmpty reports whether the language is empty.
+func (a *FSA) IsEmpty() bool {
+	t := a.Trim()
+	return len(t.finals) == 0 || len(t.starts) == 0
+}
+
+// Relabel applies a symbol mapping (a one-state transducer), merging any
+// symbols that map to the same image. Symbols not in the map are kept.
+func (a *FSA) Relabel(m map[Symbol]Symbol) *FSA {
+	r := New(a.numStates)
+	for t := range a.present {
+		sym := t.Sym
+		if sym != Epsilon {
+			if to, ok := m[sym]; ok {
+				sym = to
+			}
+		}
+		r.Add(t.From, sym, t.To)
+	}
+	for s := range a.starts {
+		r.SetStart(s)
+	}
+	for s := range a.finals {
+		r.SetFinal(s)
+	}
+	return r
+}
+
+// InverseRelabel applies the inverse of a symbol mapping: a transition on
+// symbol s becomes one transition per preimage of s. Symbols with no
+// preimage are dropped.
+func (a *FSA) InverseRelabel(m map[Symbol]Symbol) *FSA {
+	pre := map[Symbol][]Symbol{}
+	for from, to := range m {
+		pre[to] = append(pre[to], from)
+	}
+	r := New(a.numStates)
+	for t := range a.present {
+		if t.Sym == Epsilon {
+			r.Add(t.From, Epsilon, t.To)
+			continue
+		}
+		for _, s := range pre[t.Sym] {
+			r.Add(t.From, s, t.To)
+		}
+	}
+	for s := range a.starts {
+		r.SetStart(s)
+	}
+	for s := range a.finals {
+		r.SetFinal(s)
+	}
+	return r
+}
+
+// Clone deep-copies the automaton.
+func (a *FSA) Clone() *FSA {
+	r := New(a.numStates)
+	for t := range a.present {
+		r.Add(t.From, t.Sym, t.To)
+	}
+	for s := range a.starts {
+		r.SetStart(s)
+	}
+	for s := range a.finals {
+		r.SetFinal(s)
+	}
+	return r
+}
+
+// String renders the automaton for debugging.
+func (a *FSA) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FSA{states=%d starts=%v finals=%v\n", a.numStates, a.Starts(), a.Finals())
+	for _, t := range a.Transitions() {
+		sym := fmt.Sprintf("%d", t.Sym)
+		if t.Sym == Epsilon {
+			sym = "ε"
+		}
+		fmt.Fprintf(&sb, "  %d -%s-> %d\n", t.From, sym, t.To)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,210 @@
+package fsa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// nfaSpec is a generatable description of a small NFA plus probe words,
+// used with testing/quick.
+type nfaSpec struct {
+	States byte
+	Edges  []struct{ From, Sym, To byte }
+	Start  byte
+	Finals []byte
+	Words  [][]byte
+}
+
+// Generate implements quick.Generator with well-formed values.
+func (nfaSpec) Generate(r *rand.Rand, size int) reflect.Value {
+	var s nfaSpec
+	n := 2 + r.Intn(5)
+	s.States = byte(n)
+	ne := 1 + r.Intn(3*n)
+	for i := 0; i < ne; i++ {
+		s.Edges = append(s.Edges, struct{ From, Sym, To byte }{
+			byte(r.Intn(n)), byte(r.Intn(3)), byte(r.Intn(n)),
+		})
+	}
+	s.Start = byte(r.Intn(n))
+	for i := 0; i < 1+r.Intn(2); i++ {
+		s.Finals = append(s.Finals, byte(r.Intn(n)))
+	}
+	for i := 0; i < 12; i++ {
+		w := make([]byte, r.Intn(5))
+		for j := range w {
+			w[j] = byte(r.Intn(3))
+		}
+		s.Words = append(s.Words, w)
+	}
+	return reflect.ValueOf(s)
+}
+
+func (s nfaSpec) build() *FSA {
+	a := New(int(s.States))
+	a.SetStart(int(s.Start))
+	for _, e := range s.Edges {
+		sym := Symbol(e.Sym)
+		if e.Sym == 2 { // use symbol 2 as occasional epsilon
+			sym = Epsilon
+		}
+		a.Add(int(e.From), sym, int(e.To))
+	}
+	for _, f := range s.Finals {
+		a.SetFinal(int(f))
+	}
+	return a
+}
+
+func (s nfaSpec) words() [][]Symbol {
+	var out [][]Symbol
+	for _, w := range s.Words {
+		var ws []Symbol
+		for _, c := range w {
+			ws = append(ws, Symbol(c%2)) // probe only real symbols 0,1
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// TestQuickDeterminizeEquivalent: determinize preserves membership.
+func TestQuickDeterminizeEquivalent(t *testing.T) {
+	f := func(s nfaSpec) bool {
+		a := s.build()
+		d := a.Determinize()
+		if !d.IsDeterministic() {
+			return false
+		}
+		for _, w := range s.words() {
+			if a.Accepts(w) != d.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinimizeEquivalentAndIdempotent: minimize preserves the language
+// and reaches a fixed point.
+func TestQuickMinimizeEquivalentAndIdempotent(t *testing.T) {
+	f := func(s nfaSpec) bool {
+		a := s.build()
+		m := a.Minimize()
+		for _, w := range s.words() {
+			if a.Accepts(w) != m.Accepts(w) {
+				return false
+			}
+		}
+		return m.Minimize().NumStates() == m.NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReverseInvolution: w ∈ L(A) iff reverse(w) ∈ L(reverse(A)).
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(s nfaSpec) bool {
+		a := s.build()
+		r := a.Reverse()
+		for _, w := range s.words() {
+			rw := make([]Symbol, len(w))
+			for i, c := range w {
+				rw[len(w)-1-i] = c
+			}
+			if a.Accepts(w) != r.Accepts(rw) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComplementPartitions: exactly one of A, ¬A accepts any word.
+func TestQuickComplementPartitions(t *testing.T) {
+	alphabet := []Symbol{0, 1}
+	f := func(s nfaSpec) bool {
+		a := s.build()
+		c := a.Complement(alphabet)
+		for _, w := range s.words() {
+			if a.Accepts(w) == c.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntersectSound: membership in the product equals conjunction.
+func TestQuickIntersectSound(t *testing.T) {
+	f := func(s1, s2 nfaSpec) bool {
+		a, b := s1.build(), s2.build()
+		in := Intersect(a, b)
+		for _, w := range append(s1.words(), s2.words()...) {
+			if in.Accepts(w) != (a.Accepts(w) && b.Accepts(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEqualCoherent: Equal agrees with sampled membership; an
+// automaton always equals itself after any language-preserving op.
+func TestQuickEqualCoherent(t *testing.T) {
+	f := func(s nfaSpec) bool {
+		a := s.build()
+		if !Equal(a, a.Determinize()) || !Equal(a, a.Minimize()) || !Equal(a, a.RemoveEpsilon()) {
+			return false
+		}
+		// Equality with a different automaton must imply sampled agreement.
+		b := a.Reverse().Reverse()
+		if !Equal(a, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMRDPipeline: the Alg.-1 automaton pipeline
+// (reverse→determinize→minimize→reverse→removeEps) preserves the language;
+// and when the minimized reversed DFA has a single accepting state — the
+// precondition Thm. 3.16 derives from configuration words ending in their
+// unique vertex symbol — the result is reverse-deterministic.
+func TestQuickMRDPipeline(t *testing.T) {
+	f := func(s nfaSpec) bool {
+		a := s.build()
+		a4 := a.Reverse().Determinize().Minimize()
+		m := a4.Reverse().RemoveEpsilon().Trim()
+		if len(a4.Finals()) == 1 && !m.IsReverseDeterministic() {
+			return false
+		}
+		for _, w := range s.words() {
+			if a.Accepts(w) != m.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

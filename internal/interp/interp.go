@@ -1,0 +1,495 @@
+// Package interp executes MicroC programs. It is used to validate that
+// executable slices preserve the behavior of the original program at the
+// slicing criterion (Weiser's correctness condition), and to measure
+// executed-statement counts for the paper's wc speed-up experiment (§5).
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"specslice/internal/lang"
+)
+
+// Options configures a run.
+type Options struct {
+	// Input is the sequential scanf stream. Exhausting it is an error
+	// unless AllowInputExhausted is set (then scanf reads zero).
+	Input []int64
+
+	// KeyedInput, when non-nil, overrides Input: each scanf statement reads
+	// from its own stream, keyed by the statement's origin ID. This makes
+	// input values a function of the source location rather than of read
+	// order, so removing one scanf from a slice does not shift the values
+	// read by the scanfs that remain — the property needed to compare a
+	// slice's behavior against the original program's.
+	KeyedInput map[lang.NodeID][]int64
+
+	AllowInputExhausted bool
+
+	// MaxSteps bounds the number of executed statements (default 1e7).
+	MaxSteps int64
+	// MaxDepth bounds call-stack depth (default 10000).
+	MaxDepth int
+
+	// Record selects statements (by origin ID) whose observable values are
+	// appended to Result.Values on each execution: printf argument values,
+	// the value read by scanf, or the values of the variables used by the
+	// statement, in source order.
+	Record map[lang.NodeID]bool
+}
+
+// Result reports a completed (or failed) run.
+type Result struct {
+	// Output holds one rendered string per executed printf.
+	Output []string
+	// Values holds recorded observations per origin statement.
+	Values map[lang.NodeID][][]int64
+	// Steps is the number of statements executed.
+	Steps int64
+	// ExecCounts counts executions per origin statement.
+	ExecCounts map[lang.NodeID]int64
+}
+
+// ErrOutOfFuel is returned when MaxSteps is exceeded.
+var ErrOutOfFuel = errors.New("interp: step limit exceeded")
+
+// Run executes prog.main and returns its observable results.
+func Run(prog *lang.Program, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 10_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 10_000
+	}
+	in := &interpreter{
+		prog: prog,
+		opts: opts,
+		res: &Result{
+			Values:     map[lang.NodeID][][]int64{},
+			ExecCounts: map[lang.NodeID]int64{},
+		},
+		globals: map[string]value{},
+		keyed:   map[lang.NodeID]int{},
+	}
+	for _, g := range prog.Globals {
+		in.globals[g.Name] = value{}
+	}
+	main := prog.Func("main")
+	if main == nil {
+		return nil, errors.New("interp: program has no main")
+	}
+	_, err := in.call(main, nil, 0)
+	if err != nil {
+		return in.res, err
+	}
+	return in.res, nil
+}
+
+// value is an int or a function reference. The zero value is int 0.
+type value struct {
+	n    int64
+	fn   string
+	isFn bool
+}
+
+type ctrl int
+
+const (
+	ctrlNormal ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type interpreter struct {
+	prog    *lang.Program
+	opts    Options
+	res     *Result
+	globals map[string]value
+	inputAt int
+	keyed   map[lang.NodeID]int
+}
+
+type frame struct {
+	fn     *lang.FuncDecl
+	locals map[string]value
+	ret    value
+}
+
+func (in *interpreter) call(fn *lang.FuncDecl, args []value, depth int) (value, error) {
+	if depth > in.opts.MaxDepth {
+		return value{}, fmt.Errorf("interp: call depth exceeds %d in %s", in.opts.MaxDepth, fn.Name)
+	}
+	if len(args) != len(fn.Params) {
+		return value{}, fmt.Errorf("interp: %s called with %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	fr := &frame{fn: fn, locals: map[string]value{}}
+	for i, p := range fn.Params {
+		fr.locals[p.Name] = args[i]
+	}
+	lang.WalkStmts(fn.Body, func(s lang.Stmt) {
+		if d, ok := s.(*lang.DeclStmt); ok {
+			if _, exists := fr.locals[d.Name]; !exists {
+				fr.locals[d.Name] = value{}
+			}
+		}
+	})
+	_, err := in.block(fr, fn.Body, depth)
+	if err != nil {
+		return value{}, err
+	}
+	return fr.ret, nil
+}
+
+func (in *interpreter) block(fr *frame, b *lang.Block, depth int) (ctrl, error) {
+	if b == nil {
+		return ctrlNormal, nil
+	}
+	for _, s := range b.Stmts {
+		c, err := in.stmt(fr, s, depth)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		if c != ctrlNormal {
+			return c, nil
+		}
+	}
+	return ctrlNormal, nil
+}
+
+func (in *interpreter) charge(s lang.Stmt) error {
+	in.res.Steps++
+	in.res.ExecCounts[s.Base().OriginID()]++
+	if in.res.Steps > in.opts.MaxSteps {
+		return ErrOutOfFuel
+	}
+	return nil
+}
+
+// record captures the statement's observable values if selected.
+func (in *interpreter) record(fr *frame, s lang.Stmt, direct []int64) error {
+	id := s.Base().OriginID()
+	if in.opts.Record == nil || !in.opts.Record[id] {
+		return nil
+	}
+	if direct != nil {
+		in.res.Values[id] = append(in.res.Values[id], direct)
+		return nil
+	}
+	var vals []int64
+	for _, e := range lang.StmtExprs(s) {
+		for _, v := range lang.ExprVars(e) {
+			x, err := in.load(fr, v)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, x.n)
+		}
+	}
+	in.res.Values[id] = append(in.res.Values[id], vals)
+	return nil
+}
+
+func (in *interpreter) stmt(fr *frame, s lang.Stmt, depth int) (ctrl, error) {
+	if err := in.charge(s); err != nil {
+		return ctrlNormal, err
+	}
+	switch x := s.(type) {
+	case *lang.DeclStmt:
+		if x.Init == nil {
+			return ctrlNormal, nil
+		}
+		if err := in.record(fr, s, nil); err != nil {
+			return ctrlNormal, err
+		}
+		v, err := in.eval(fr, x.Init)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		return ctrlNormal, in.store(fr, x.Name, v)
+
+	case *lang.AssignStmt:
+		if err := in.record(fr, s, nil); err != nil {
+			return ctrlNormal, err
+		}
+		v, err := in.eval(fr, x.RHS)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		return ctrlNormal, in.store(fr, x.LHS, v)
+
+	case *lang.CallStmt:
+		if err := in.record(fr, s, nil); err != nil {
+			return ctrlNormal, err
+		}
+		var args []value
+		for _, a := range x.Args {
+			v, err := in.eval(fr, a)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			args = append(args, v)
+		}
+		callee := x.Callee
+		if x.Indirect {
+			pv, err := in.load(fr, x.Callee)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if !pv.isFn || pv.fn == "" {
+				return ctrlNormal, fmt.Errorf("%s: indirect call through non-function value in %q", x.Pos, x.Callee)
+			}
+			callee = pv.fn
+		}
+		fn := in.prog.Func(callee)
+		if fn == nil {
+			return ctrlNormal, fmt.Errorf("%s: call to undefined function %q", x.Pos, callee)
+		}
+		ret, err := in.call(fn, args, depth+1)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		if x.Target != "" {
+			return ctrlNormal, in.store(fr, x.Target, ret)
+		}
+		return ctrlNormal, nil
+
+	case *lang.IfStmt:
+		if err := in.record(fr, s, nil); err != nil {
+			return ctrlNormal, err
+		}
+		v, err := in.eval(fr, x.Cond)
+		if err != nil {
+			return ctrlNormal, err
+		}
+		if v.n != 0 {
+			return in.block(fr, x.Then, depth)
+		}
+		return in.block(fr, x.Else, depth)
+
+	case *lang.WhileStmt:
+		for {
+			if err := in.record(fr, s, nil); err != nil {
+				return ctrlNormal, err
+			}
+			v, err := in.eval(fr, x.Cond)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			if v.n == 0 {
+				return ctrlNormal, nil
+			}
+			c, err := in.block(fr, x.Body, depth)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNormal, nil
+			case ctrlReturn:
+				return ctrlReturn, nil
+			}
+			// Re-charge for the repeated condition evaluation.
+			if err := in.charge(s); err != nil {
+				return ctrlNormal, err
+			}
+		}
+
+	case *lang.ReturnStmt:
+		if err := in.record(fr, s, nil); err != nil {
+			return ctrlNormal, err
+		}
+		if x.Value != nil {
+			v, err := in.eval(fr, x.Value)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			fr.ret = v
+		}
+		return ctrlReturn, nil
+
+	case *lang.BreakStmt:
+		return ctrlBreak, nil
+	case *lang.ContinueStmt:
+		return ctrlContinue, nil
+
+	case *lang.PrintfStmt:
+		var vals []int64
+		for _, a := range x.Args {
+			v, err := in.eval(fr, a)
+			if err != nil {
+				return ctrlNormal, err
+			}
+			vals = append(vals, v.n)
+		}
+		if err := in.record(fr, s, vals); err != nil {
+			return ctrlNormal, err
+		}
+		in.res.Output = append(in.res.Output, renderPrintf(x.Format, vals))
+		return ctrlNormal, nil
+
+	case *lang.ScanfStmt:
+		v, err := in.readInput(s.Base().OriginID())
+		if err != nil {
+			return ctrlNormal, fmt.Errorf("%s: %w", x.Pos, err)
+		}
+		if err := in.record(fr, s, []int64{v}); err != nil {
+			return ctrlNormal, err
+		}
+		return ctrlNormal, in.store(fr, x.Var, value{n: v})
+	}
+	return ctrlNormal, fmt.Errorf("interp: unknown statement %T", s)
+}
+
+func (in *interpreter) readInput(id lang.NodeID) (int64, error) {
+	if in.opts.KeyedInput != nil {
+		stream := in.opts.KeyedInput[id]
+		i := in.keyed[id]
+		if i >= len(stream) {
+			if in.opts.AllowInputExhausted {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("keyed input exhausted for statement %d", id)
+		}
+		in.keyed[id] = i + 1
+		return stream[i], nil
+	}
+	if in.inputAt >= len(in.opts.Input) {
+		if in.opts.AllowInputExhausted {
+			return 0, nil
+		}
+		return 0, errors.New("input exhausted")
+	}
+	v := in.opts.Input[in.inputAt]
+	in.inputAt++
+	return v, nil
+}
+
+func (in *interpreter) load(fr *frame, name string) (value, error) {
+	if v, ok := fr.locals[name]; ok {
+		return v, nil
+	}
+	if v, ok := in.globals[name]; ok {
+		return v, nil
+	}
+	return value{}, fmt.Errorf("interp: unknown variable %q in %s", name, fr.fn.Name)
+}
+
+func (in *interpreter) store(fr *frame, name string, v value) error {
+	if _, ok := fr.locals[name]; ok {
+		fr.locals[name] = v
+		return nil
+	}
+	if _, ok := in.globals[name]; ok {
+		in.globals[name] = v
+		return nil
+	}
+	return fmt.Errorf("interp: store to unknown variable %q in %s", name, fr.fn.Name)
+}
+
+func (in *interpreter) eval(fr *frame, e lang.Expr) (value, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return value{n: x.Value}, nil
+	case *lang.VarRef:
+		return in.load(fr, x.Name)
+	case *lang.FuncRef:
+		return value{fn: x.Name, isFn: true}, nil
+	case *lang.Unary:
+		v, err := in.eval(fr, x.X)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Op {
+		case "-":
+			return value{n: -v.n}, nil
+		case "!":
+			return value{n: b2i(v.n == 0)}, nil
+		}
+		return value{}, fmt.Errorf("interp: unknown unary %q", x.Op)
+	case *lang.Binary:
+		l, err := in.eval(fr, x.X)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := in.eval(fr, x.Y)
+		if err != nil {
+			return value{}, err
+		}
+		if l.isFn || r.isFn {
+			// Function values support only equality comparison.
+			switch x.Op {
+			case "==":
+				return value{n: b2i(l.isFn == r.isFn && l.fn == r.fn)}, nil
+			case "!=":
+				return value{n: b2i(!(l.isFn == r.isFn && l.fn == r.fn))}, nil
+			}
+			return value{}, fmt.Errorf("interp: operator %q applied to function value", x.Op)
+		}
+		switch x.Op {
+		case "+":
+			return value{n: l.n + r.n}, nil
+		case "-":
+			return value{n: l.n - r.n}, nil
+		case "*":
+			return value{n: l.n * r.n}, nil
+		case "/":
+			if r.n == 0 {
+				return value{}, errors.New("interp: division by zero")
+			}
+			return value{n: l.n / r.n}, nil
+		case "%":
+			if r.n == 0 {
+				return value{}, errors.New("interp: modulo by zero")
+			}
+			return value{n: l.n % r.n}, nil
+		case "<":
+			return value{n: b2i(l.n < r.n)}, nil
+		case ">":
+			return value{n: b2i(l.n > r.n)}, nil
+		case "<=":
+			return value{n: b2i(l.n <= r.n)}, nil
+		case ">=":
+			return value{n: b2i(l.n >= r.n)}, nil
+		case "==":
+			return value{n: b2i(l.n == r.n)}, nil
+		case "!=":
+			return value{n: b2i(l.n != r.n)}, nil
+		case "&&":
+			return value{n: b2i(l.n != 0 && r.n != 0)}, nil
+		case "||":
+			return value{n: b2i(l.n != 0 || r.n != 0)}, nil
+		}
+		return value{}, fmt.Errorf("interp: unknown binary %q", x.Op)
+	case *lang.CallExpr:
+		return value{}, errors.New("interp: call in expression position; program was not normalized")
+	}
+	return value{}, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// renderPrintf substitutes each %d in format with the next value.
+func renderPrintf(format string, vals []int64) string {
+	var sb strings.Builder
+	i := 0
+	for j := 0; j < len(format); j++ {
+		if format[j] == '%' && j+1 < len(format) && format[j+1] == 'd' {
+			if i < len(vals) {
+				fmt.Fprintf(&sb, "%d", vals[i])
+				i++
+			}
+			j++
+			continue
+		}
+		sb.WriteByte(format[j])
+	}
+	return sb.String()
+}

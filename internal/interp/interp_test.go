@@ -1,0 +1,254 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"specslice/internal/lang"
+)
+
+func run(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	prog := lang.MustParse(src)
+	res, err := Run(prog, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+int main() {
+  int i = 0;
+  int sum = 0;
+  while (i < 10) {
+    i = i + 1;
+    if (i % 2 == 0) { continue; }
+    if (i > 7) { break; }
+    sum = sum + i;
+  }
+  printf("%d %d", sum, i);
+  return 0;
+}
+`
+	res := run(t, src, Options{})
+	if len(res.Output) != 1 || res.Output[0] != "16 9" { // 1+3+5+7=16, break at i=9
+		t.Errorf("output = %v, want [16 9]", res.Output)
+	}
+}
+
+func TestRecursionAndReturn(t *testing.T) {
+	src := `
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  printf("%d", fib(12));
+  return 0;
+}
+`
+	res := run(t, src, Options{})
+	if res.Output[0] != "144" {
+		t.Errorf("fib(12) = %s, want 144", res.Output[0])
+	}
+}
+
+func TestGlobalsSharedAcrossCalls(t *testing.T) {
+	src := `
+int g;
+void bump() { g = g + 1; }
+int main() {
+  bump(); bump(); bump();
+  printf("%d", g);
+  return 0;
+}
+`
+	if got := run(t, src, Options{}).Output[0]; got != "3" {
+		t.Errorf("g = %s, want 3", got)
+	}
+}
+
+func TestScanfSequential(t *testing.T) {
+	src := `
+int main() {
+  int a; int b;
+  scanf("%d", &a);
+  scanf("%d", &b);
+  printf("%d", a * 10 + b);
+  return 0;
+}
+`
+	res := run(t, src, Options{Input: []int64{4, 2}})
+	if res.Output[0] != "42" {
+		t.Errorf("got %s, want 42", res.Output[0])
+	}
+}
+
+func TestScanfKeyedInput(t *testing.T) {
+	src := `
+int main() {
+  int a; int b;
+  scanf("%d", &a);
+  scanf("%d", &b);
+  printf("%d %d", a, b);
+  return 0;
+}
+`
+	prog := lang.MustParse(src)
+	var ids []lang.NodeID
+	for _, s := range prog.Func("main").Stmts() {
+		if _, ok := s.(*lang.ScanfStmt); ok {
+			ids = append(ids, s.Base().OriginID())
+		}
+	}
+	keyed := map[lang.NodeID][]int64{ids[0]: {7}, ids[1]: {9}}
+	res, err := Run(prog, Options{KeyedInput: keyed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != "7 9" {
+		t.Errorf("got %s, want 7 9", res.Output[0])
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	src := `int main() { int x = 1 / 0; return 0; }`
+	_, err := Run(lang.MustParse(src), Options{})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("want division-by-zero error, got %v", err)
+	}
+}
+
+func TestOutOfFuel(t *testing.T) {
+	src := `int main() { while (1) { } return 0; }`
+	_, err := Run(lang.MustParse(src), Options{MaxSteps: 1000})
+	if !errors.Is(err, ErrOutOfFuel) {
+		t.Errorf("want ErrOutOfFuel, got %v", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	src := `
+void f() { f(); }
+int main() { f(); return 0; }
+`
+	_, err := Run(lang.MustParse(src), Options{MaxDepth: 50})
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("want depth error, got %v", err)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	src := `
+int f(int a, int b) { return a + b; }
+int g(int a, int b) { return a; }
+int main() {
+  fnptr p;
+  int x;
+  scanf("%d", &x);
+  if (x == 1) { p = f; } else { p = g; }
+  x = p(10, 3);
+  printf("%d", x);
+  return 0;
+}
+`
+	if got := run(t, src, Options{Input: []int64{1}}).Output[0]; got != "13" {
+		t.Errorf("via f: got %s, want 13", got)
+	}
+	if got := run(t, src, Options{Input: []int64{0}}).Output[0]; got != "10" {
+		t.Errorf("via g: got %s, want 10", got)
+	}
+}
+
+func TestUninitializedFnptrCallFails(t *testing.T) {
+	src := `
+int main() {
+  fnptr p;
+  p(1);
+  return 0;
+}
+`
+	_, err := Run(lang.MustParse(src), Options{})
+	if err == nil || !strings.Contains(err.Error(), "non-function") {
+		t.Errorf("want indirect-call error, got %v", err)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	src := `
+int g;
+int main() {
+  int i = 0;
+  while (i < 3) {
+    g = g + i;
+    i = i + 1;
+  }
+  printf("%d", g);
+  return 0;
+}
+`
+	prog := lang.MustParse(src)
+	var printfID lang.NodeID
+	for _, s := range prog.Func("main").Stmts() {
+		if _, ok := s.(*lang.PrintfStmt); ok {
+			printfID = s.Base().OriginID()
+		}
+	}
+	res, err := Run(prog, Options{Record: map[lang.NodeID]bool{printfID: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := res.Values[printfID]
+	if len(vals) != 1 || len(vals[0]) != 1 || vals[0][0] != 3 {
+		t.Errorf("recorded = %v, want [[3]]", vals)
+	}
+}
+
+func TestExecCountsAndSteps(t *testing.T) {
+	src := `
+int main() {
+  int i = 0;
+  while (i < 5) { i = i + 1; }
+  return 0;
+}
+`
+	res := run(t, src, Options{})
+	if res.Steps == 0 {
+		t.Error("steps not counted")
+	}
+	prog := lang.MustParse(src)
+	_ = prog
+	var total int64
+	for _, c := range res.ExecCounts {
+		total += c
+	}
+	if total == 0 {
+		t.Error("exec counts empty")
+	}
+}
+
+func TestFig1Behavior(t *testing.T) {
+	src := `
+int g1; int g2; int g3;
+void p(int a, int b) {
+  g1 = a;
+  g2 = b;
+  g3 = g2;
+}
+int main() {
+  g2 = 100;
+  p(g2, 2);
+  p(g2, 3);
+  p(4, g1 + g2);
+  printf("%d", g2);
+  return 0;
+}
+`
+	// p(g2,2): g1=100,g2=2,g3=2; p(g2,3): g1=2,g2=3,g3=3; p(4,g1+g2)=p(4,5): g1=4,g2=5.
+	if got := run(t, src, Options{}).Output[0]; got != "5" {
+		t.Errorf("fig1 prints %s, want 5", got)
+	}
+}

@@ -1,0 +1,96 @@
+package lang
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		c := *x
+		return &c
+	case *VarRef:
+		c := *x
+		return &c
+	case *FuncRef:
+		c := *x
+		return &c
+	case *Unary:
+		return &Unary{Op: x.Op, X: CloneExpr(x.X)}
+	case *Binary:
+		return &Binary{Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y)}
+	case *CallExpr:
+		c := &CallExpr{Callee: x.Callee, Indirect: x.Indirect}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	}
+	panic("lang.CloneExpr: unknown expression node")
+}
+
+// CloneStmtInto deep-copies s, allocating fresh IDs from dst and recording
+// the original statement identity in Origin (propagating an existing Origin
+// so chains of slicing preserve the primary source statement).
+func CloneStmtInto(dst *Program, s Stmt) Stmt {
+	base := StmtBase{ID: dst.NewID(), Pos: s.Base().Pos, Origin: s.Base().OriginID()}
+	switch x := s.(type) {
+	case *DeclStmt:
+		return &DeclStmt{StmtBase: base, Name: x.Name, IsFnPtr: x.IsFnPtr, Init: CloneExpr(x.Init)}
+	case *AssignStmt:
+		return &AssignStmt{StmtBase: base, LHS: x.LHS, RHS: CloneExpr(x.RHS)}
+	case *CallStmt:
+		c := &CallStmt{StmtBase: base, Target: x.Target, Callee: x.Callee, Indirect: x.Indirect}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *IfStmt:
+		return &IfStmt{StmtBase: base, Cond: CloneExpr(x.Cond), Then: CloneBlockInto(dst, x.Then), Else: CloneBlockInto(dst, x.Else)}
+	case *WhileStmt:
+		return &WhileStmt{StmtBase: base, Cond: CloneExpr(x.Cond), Body: CloneBlockInto(dst, x.Body)}
+	case *ReturnStmt:
+		return &ReturnStmt{StmtBase: base, Value: CloneExpr(x.Value)}
+	case *BreakStmt:
+		return &BreakStmt{StmtBase: base}
+	case *ContinueStmt:
+		return &ContinueStmt{StmtBase: base}
+	case *PrintfStmt:
+		c := &PrintfStmt{StmtBase: base, Format: x.Format}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *ScanfStmt:
+		return &ScanfStmt{StmtBase: base, Format: x.Format, Var: x.Var}
+	}
+	panic("lang.CloneStmtInto: unknown statement node")
+}
+
+// CloneBlockInto deep-copies a block into dst; nil stays nil.
+func CloneBlockInto(dst *Program, b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	out := &Block{}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, CloneStmtInto(dst, s))
+	}
+	return out
+}
+
+// CloneProgram returns a deep copy of prog with fresh IDs and Origin links
+// back to prog's statements.
+func CloneProgram(prog *Program) *Program {
+	dst := NewProgram()
+	for _, g := range prog.Globals {
+		cg := *g
+		dst.Globals = append(dst.Globals, &cg)
+	}
+	for _, f := range prog.Funcs {
+		dst.Funcs = append(dst.Funcs, &FuncDecl{
+			Pos: f.Pos, Name: f.Name, Params: append([]Param(nil), f.Params...),
+			ReturnsValue: f.ReturnsValue, Body: CloneBlockInto(dst, f.Body),
+		})
+	}
+	return dst
+}

@@ -1,0 +1,220 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1Src = `
+int g1; int g2; int g3;
+
+void p(int a, int b) {
+  g1 = a;
+  g2 = b;
+  g3 = g2;
+}
+
+int main() {
+  g2 = 100;
+  p(g2, 2);
+  p(g2, 3);
+  p(4, g1 + g2);
+  printf("%d", g2);
+  return 0;
+}
+`
+
+func TestParseFig1(t *testing.T) {
+	prog, err := Parse(fig1Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Globals) != 3 {
+		t.Errorf("globals = %d, want 3", len(prog.Globals))
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(prog.Funcs))
+	}
+	p := prog.Func("p")
+	if p == nil || len(p.Params) != 2 || p.ReturnsValue {
+		t.Errorf("p misparsed: %+v", p)
+	}
+	m := prog.Func("main")
+	if m == nil || !m.ReturnsValue {
+		t.Errorf("main misparsed")
+	}
+	// 3 direct calls + 1 printf in main.
+	calls, printfs := 0, 0
+	for _, s := range m.Stmts() {
+		switch s.(type) {
+		case *CallStmt:
+			calls++
+		case *PrintfStmt:
+			printfs++
+		}
+	}
+	if calls != 3 || printfs != 1 {
+		t.Errorf("calls=%d printfs=%d, want 3 and 1", calls, printfs)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog := MustParse(fig1Src)
+	text := Print(prog)
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if got := Print(prog2); got != text {
+		t.Errorf("print not a fixed point:\n--- first\n%s\n--- second\n%s", text, got)
+	}
+}
+
+func TestNormalizeHoistsNestedCalls(t *testing.T) {
+	src := `
+int g;
+int f(int a) { return a + 1; }
+int main() {
+  g = f(f(2)) + f(3);
+  printf("%d", g);
+  return 0;
+}
+`
+	prog := MustParse(src)
+	m := prog.Func("main")
+	for _, s := range m.Stmts() {
+		for _, e := range StmtExprs(s) {
+			if HasCall(e) {
+				t.Fatalf("call left in expression position: %s", ExprString(e))
+			}
+		}
+	}
+	// Three temp calls must have been introduced.
+	n := 0
+	for _, s := range m.Stmts() {
+		if c, ok := s.(*CallStmt); ok && c.Callee == "f" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("hoisted calls = %d, want 3", n)
+	}
+}
+
+func TestNormalizeRejectsCallInWhileCond(t *testing.T) {
+	src := `
+int f() { return 1; }
+int main() {
+  while (f() > 0) { }
+  return 0;
+}
+`
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "while conditions") {
+		t.Errorf("want while-condition error, got %v", err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no-main", `int f() { return 1; }`, "no main"},
+		{"undeclared", `int main() { x = 1; return 0; }`, "undeclared"},
+		{"arity", `void f(int a) {} int main() { f(1, 2); return 0; }`, "args"},
+		{"void-value", `void f() {} int main() { int x = f(); return 0; }`, "void"},
+		{"dup-local", `int main() { int x; int x; return 0; }`, "duplicate local"},
+		{"dup-global", `int g; int g; int main() { return 0; }`, "duplicate global"},
+		{"unknown-callee", `int main() { q(1); return 0; }`, "undefined function"},
+		{"main-params", `int main(int a) { return 0; }`, "no parameters"},
+		{"void-return-value", `void f() { return 3; } int main() { f(); return 0; }`, "returns a value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestFnptrParsing(t *testing.T) {
+	src := `
+int f(int a, int b) { return a + b; }
+int g(int a, int b) { return a; }
+int main() {
+  fnptr p;
+  int x;
+  if (1) { p = f; } else { p = &g; }
+  x = p(1, 2);
+  printf("%d", x);
+  return 0;
+}
+`
+	prog := MustParse(src)
+	var indirect *CallStmt
+	for _, s := range prog.Func("main").Stmts() {
+		if c, ok := s.(*CallStmt); ok && c.Indirect {
+			indirect = c
+		}
+	}
+	if indirect == nil || indirect.Callee != "p" || indirect.Target != "x" {
+		t.Fatalf("indirect call misparsed: %+v", indirect)
+	}
+	// p = f must resolve the RHS to a FuncRef.
+	funcRefs := 0
+	for _, s := range prog.Func("main").Stmts() {
+		if a, ok := s.(*AssignStmt); ok {
+			if _, isFR := a.RHS.(*FuncRef); isFR {
+				funcRefs++
+			}
+		}
+	}
+	if funcRefs != 2 {
+		t.Errorf("FuncRef assignments = %d, want 2", funcRefs)
+	}
+}
+
+func TestCloneProgramPreservesOrigin(t *testing.T) {
+	prog := MustParse(fig1Src)
+	clone := CloneProgram(prog)
+	if Print(clone) != Print(prog) {
+		t.Fatalf("clone prints differently")
+	}
+	orig := prog.Func("main").Stmts()
+	cl := clone.Func("main").Stmts()
+	if len(orig) != len(cl) {
+		t.Fatalf("stmt count differs: %d vs %d", len(orig), len(cl))
+	}
+	for i := range orig {
+		if cl[i].Base().OriginID() != orig[i].Base().OriginID() {
+			t.Errorf("stmt %d: origin %d, want %d", i, cl[i].Base().OriginID(), orig[i].Base().OriginID())
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{`int main() { printf("unterminated); }`, "int main() { @ }", "/* unterminated"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("want lex error for %q", src)
+		}
+	}
+}
+
+func TestCommentsAndPrecedence(t *testing.T) {
+	src := `
+// line comment
+int g; /* block
+comment */
+int main() {
+  g = 1 + 2 * 3 - -4;       // 1+6+4 = 11
+  g = (1 + 2) * 3 % 5;      // 9%5 = 4
+  g = 1 < 2 && 3 >= 3 || 0; // 1
+  printf("%d", g);
+  return 0;
+}
+`
+	prog := MustParse(src)
+	text := Print(prog)
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+}

@@ -1,0 +1,221 @@
+// Package pds implements pushdown systems and the Prestar/Poststar
+// saturation procedures of Bouajjani et al. (1997) and Esparza et al.
+// (2000), in the efficient worklist formulation of Schwoon's thesis. It
+// plays the role WALi plays in the paper's implementation.
+//
+// A P-automaton is represented as an *fsa.FSA whose states 0..NumLocs-1 are
+// the PDS control locations; a configuration (p, w) is accepted when the
+// automaton accepts w starting from state p. Query automata must have no
+// transitions into control-location states and no epsilon transitions.
+package pds
+
+import (
+	"fmt"
+
+	"specslice/internal/fsa"
+)
+
+// Rule is a pushdown rule <P, G> ↪ <P2, W> with |W| ≤ 2:
+// |W| = 0 is a pop rule, 1 an internal rule, 2 a push rule.
+type Rule struct {
+	P  int
+	G  fsa.Symbol
+	P2 int
+	W  []fsa.Symbol
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("<%d,%d> -> <%d,%v>", r.P, r.G, r.P2, r.W)
+}
+
+// PDS is a pushdown system with NumLocs control locations (0..NumLocs-1).
+type PDS struct {
+	NumLocs int
+	Rules   []Rule
+}
+
+// AddRule appends a rule, validating its shape.
+func (p *PDS) AddRule(r Rule) {
+	if len(r.W) > 2 {
+		panic("pds: rule with more than two right-hand stack symbols")
+	}
+	p.Rules = append(p.Rules, r)
+}
+
+// locSym is an index key (control location or state, stack symbol).
+type locSym struct {
+	q int
+	g fsa.Symbol
+}
+
+// Prestar saturates a copy of the query automaton a so that it accepts
+// pre*(L(a)): every configuration from which some configuration in L(a) is
+// reachable. a's states 0..NumLocs-1 must be the control locations.
+func (p *PDS) Prestar(a *fsa.FSA) *fsa.FSA {
+	res := a.Clone()
+	for res.NumStates() < p.NumLocs {
+		res.AddState()
+	}
+
+	// Index static rules.
+	internal := map[locSym][]Rule{} // RHS <q, γ>
+	push := map[locSym][]Rule{}     // RHS <q, γ γ₂>, indexed by (q, γ)
+	var pops []Rule
+	for _, r := range p.Rules {
+		switch len(r.W) {
+		case 0:
+			pops = append(pops, r)
+		case 1:
+			k := locSym{r.P2, r.W[0]}
+			internal[k] = append(internal[k], r)
+		case 2:
+			k := locSym{r.P2, r.W[0]}
+			push[k] = append(push[k], r)
+		}
+	}
+
+	// Dynamic pseudo-internal rules Δ′: <p₁,γ₁> → <q′,γ₂>, indexed by (q′,γ₂).
+	type dyn struct {
+		p1 int
+		g1 fsa.Symbol
+	}
+	dynRules := map[locSym][]dyn{}
+	dynSeen := map[[4]int]bool{}
+
+	// rel: transitions confirmed in the result, indexed by (from, sym).
+	relBySrc := map[locSym][]int{}
+	relSeen := map[fsa.Transition]bool{}
+
+	var work []fsa.Transition
+	pushT := func(t fsa.Transition) {
+		if !relSeen[t] {
+			work = append(work, t)
+		}
+	}
+	for _, t := range a.Transitions() {
+		pushT(t)
+	}
+	for _, r := range pops {
+		pushT(fsa.Transition{From: r.P, Sym: r.G, To: r.P2})
+	}
+
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		if relSeen[t] {
+			continue
+		}
+		relSeen[t] = true
+		res.Add(t.From, t.Sym, t.To)
+		k := locSym{t.From, t.Sym}
+		relBySrc[k] = append(relBySrc[k], t.To)
+
+		for _, r := range internal[k] {
+			pushT(fsa.Transition{From: r.P, Sym: r.G, To: t.To})
+		}
+		for _, d := range dynRules[k] {
+			pushT(fsa.Transition{From: d.p1, Sym: d.g1, To: t.To})
+		}
+		for _, r := range push[k] {
+			// Register Δ′ rule <r.P, r.G> → <t.To, r.W[1]>.
+			key := [4]int{r.P, int(r.G), t.To, int(r.W[1])}
+			if !dynSeen[key] {
+				dynSeen[key] = true
+				dk := locSym{t.To, r.W[1]}
+				dynRules[dk] = append(dynRules[dk], dyn{r.P, r.G})
+				for _, q2 := range relBySrc[dk] {
+					pushT(fsa.Transition{From: r.P, Sym: r.G, To: q2})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Poststar saturates a copy of the query automaton a so that it accepts
+// post*(L(a)): every configuration reachable from some configuration in
+// L(a). New intermediate states are created for push rules; epsilon
+// transitions appear in the result (callers may RemoveEpsilon).
+func (p *PDS) Poststar(a *fsa.FSA) *fsa.FSA {
+	res := a.Clone()
+	for res.NumStates() < p.NumLocs {
+		res.AddState()
+	}
+
+	// Phase I: one new state per (p′, γ′) of a push rule.
+	mid := map[locSym]int{}
+	for _, r := range p.Rules {
+		if len(r.W) == 2 {
+			k := locSym{r.P2, r.W[0]}
+			if _, ok := mid[k]; !ok {
+				mid[k] = res.AddState()
+			}
+		}
+	}
+
+	// Index rules by LHS (p, γ).
+	byLHS := map[locSym][]Rule{}
+	for _, r := range p.Rules {
+		k := locSym{r.P, r.G}
+		byLHS[k] = append(byLHS[k], r)
+	}
+
+	relSeen := map[fsa.Transition]bool{}
+	// epsInto[q] = control locations p with (p, ε, q) in rel.
+	epsInto := map[int][]int{}
+	// relFrom[q] = non-eps transitions (sym, to) leaving q.
+	type symTo struct {
+		sym fsa.Symbol
+		to  int
+	}
+	relFrom := map[int][]symTo{}
+
+	var work []fsa.Transition
+	pushT := func(t fsa.Transition) {
+		if !relSeen[t] {
+			work = append(work, t)
+		}
+	}
+	for _, t := range a.Transitions() {
+		if t.Sym == fsa.Epsilon {
+			panic("pds: query automaton must not contain epsilon transitions")
+		}
+		pushT(t)
+	}
+
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		if relSeen[t] {
+			continue
+		}
+		relSeen[t] = true
+		res.Add(t.From, t.Sym, t.To)
+
+		if t.Sym != fsa.Epsilon {
+			relFrom[t.From] = append(relFrom[t.From], symTo{t.Sym, t.To})
+			for _, r := range byLHS[locSym{t.From, t.Sym}] {
+				switch len(r.W) {
+				case 0:
+					pushT(fsa.Transition{From: r.P2, Sym: fsa.Epsilon, To: t.To})
+				case 1:
+					pushT(fsa.Transition{From: r.P2, Sym: r.W[0], To: t.To})
+				case 2:
+					m := mid[locSym{r.P2, r.W[0]}]
+					pushT(fsa.Transition{From: r.P2, Sym: r.W[0], To: m})
+					pushT(fsa.Transition{From: m, Sym: r.W[1], To: t.To})
+				}
+			}
+			// Compose with earlier epsilon transitions ending at t.From.
+			for _, q := range epsInto[t.From] {
+				pushT(fsa.Transition{From: q, Sym: t.Sym, To: t.To})
+			}
+		} else {
+			epsInto[t.To] = append(epsInto[t.To], t.From)
+			for _, st := range relFrom[t.To] {
+				pushT(fsa.Transition{From: t.From, Sym: st.sym, To: st.to})
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,449 @@
+package sdg
+
+import (
+	"fmt"
+
+	"specslice/internal/cfg"
+	"specslice/internal/dataflow"
+	"specslice/internal/lang"
+)
+
+// RetVar is the pseudo-variable carrying a procedure's return value between
+// return statements and the return-value formal-out vertex.
+const RetVar = "$ret"
+
+// Build constructs the SDG of prog. The program must contain only direct
+// calls; run funcptr.Transform first to eliminate indirect calls.
+func Build(prog *lang.Program) (*Graph, error) {
+	for _, fn := range prog.Funcs {
+		for _, s := range fn.Stmts() {
+			if c, ok := s.(*lang.CallStmt); ok && c.Indirect {
+				return nil, fmt.Errorf("sdg: %s: indirect call through %q; apply the funcptr transformation first", c.Pos, c.Callee)
+			}
+		}
+	}
+	mr := dataflow.ComputeModRef(prog)
+	b := &builder{
+		g: &Graph{
+			Prog:       prog,
+			ProcByName: map[string]int{},
+		},
+		mr: mr,
+	}
+	for i, fn := range prog.Funcs {
+		p := &Proc{Index: i, Name: fn.Name, Fn: fn}
+		b.g.Procs = append(b.g.Procs, p)
+		b.g.ProcByName[fn.Name] = i
+	}
+	for _, p := range b.g.Procs {
+		b.buildProcSkeleton(p)
+	}
+	for _, p := range b.g.Procs {
+		if err := b.buildProcBody(p); err != nil {
+			return nil, err
+		}
+	}
+	b.connectProcs()
+	return b.g, nil
+}
+
+// MustBuild builds the SDG and panics on error; for tests and workloads
+// known to be valid.
+func MustBuild(prog *lang.Program) *Graph {
+	g, err := Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type builder struct {
+	g  *Graph
+	mr *dataflow.ModRef
+}
+
+// buildProcSkeleton creates the entry and formal vertices of p.
+func (b *builder) buildProcSkeleton(p *Proc) {
+	fn := p.Fn
+	p.Entry = b.g.AddVertex(&Vertex{Kind: KindEntry, Proc: p.Index, Site: -1, Param: NoParam, Label: fn.Name})
+
+	for i, prm := range fn.Params {
+		v := b.g.AddVertex(&Vertex{
+			Kind: KindFormalIn, Proc: p.Index, Site: -1, Param: i, Var: prm.Name,
+			Label: fmt.Sprintf("%s: %s", fn.Name, prm.Name),
+		})
+		p.FormalIns = append(p.FormalIns, v)
+	}
+	for _, gname := range b.mr.FormalInGlobals(fn.Name).Sorted() {
+		v := b.g.AddVertex(&Vertex{
+			Kind: KindFormalIn, Proc: p.Index, Site: -1, Param: NoParam, Var: gname,
+			Label: fmt.Sprintf("%s: global %s in", fn.Name, gname),
+		})
+		p.FormalIns = append(p.FormalIns, v)
+	}
+
+	if fn.ReturnsValue {
+		v := b.g.AddVertex(&Vertex{
+			Kind: KindFormalOut, Proc: p.Index, Site: -1, Param: NoParam, Var: RetVar, IsReturn: true,
+			Label: fmt.Sprintf("%s: return", fn.Name),
+		})
+		p.FormalOuts = append(p.FormalOuts, v)
+	}
+	for _, gname := range b.mr.GMOD[fn.Name].Sorted() {
+		v := b.g.AddVertex(&Vertex{
+			Kind: KindFormalOut, Proc: p.Index, Site: -1, Param: NoParam, Var: gname,
+			Label: fmt.Sprintf("%s: global %s out", fn.Name, gname),
+		})
+		p.FormalOuts = append(p.FormalOuts, v)
+	}
+
+	for _, v := range p.FormalIns {
+		b.g.AddEdge(p.Entry, v, EdgeControl)
+	}
+	for _, v := range p.FormalOuts {
+		b.g.AddEdge(p.Entry, v, EdgeControl)
+	}
+}
+
+// defEvent / useEvent attribute a variable definition or use to a vertex.
+type defEvent struct {
+	vertex VertexID
+	vr     string
+	kills  bool // definite assignment: kills prior defs of vr
+}
+
+type useEvent struct {
+	vertex VertexID
+	vr     string
+}
+
+// nodeInfo is the dataflow view of one CFG node.
+type nodeInfo struct {
+	vertex VertexID // primary vertex (call vertex for sites); -1 if none
+	defs   []defEvent
+	uses   []useEvent
+}
+
+func (b *builder) buildProcBody(p *Proc) error {
+	fn := p.Fn
+	graph := cfg.Build(fn)
+	info := make([]nodeInfo, len(graph.Nodes))
+	for i := range info {
+		info[i].vertex = -1
+	}
+	globalSet := dataflow.StringSet{}
+	for _, gn := range SortedGlobals(b.g.Prog) {
+		globalSet[gn] = true
+	}
+
+	// Entry node: formal-ins define their variables.
+	info[graph.Entry.ID].vertex = VertexID(p.Entry)
+	for _, fiID := range p.FormalIns {
+		fi := b.g.Vertices[fiID]
+		info[graph.Entry.ID].defs = append(info[graph.Entry.ID].defs, defEvent{vertex: fiID, vr: fi.Var, kills: true})
+	}
+	// Exit node: formal-outs use their variables.
+	for _, foID := range p.FormalOuts {
+		fo := b.g.Vertices[foID]
+		info[graph.Exit.ID].uses = append(info[graph.Exit.ID].uses, useEvent{vertex: foID, vr: fo.Var})
+	}
+
+	// Statement vertices.
+	for _, node := range graph.Nodes {
+		if node.Stmt == nil {
+			continue
+		}
+		ni := &info[node.ID]
+		switch x := node.Stmt.(type) {
+		case *lang.DeclStmt:
+			if x.Init == nil {
+				continue // pure declaration: no vertex
+			}
+			v := b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: x.Name + " = " + lang.ExprString(x.Init)})
+			ni.vertex = v
+			ni.defs = append(ni.defs, defEvent{vertex: v, vr: x.Name, kills: true})
+			b.addExprUses(ni, v, x.Init)
+
+		case *lang.AssignStmt:
+			v := b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: x.LHS + " = " + lang.ExprString(x.RHS)})
+			ni.vertex = v
+			ni.defs = append(ni.defs, defEvent{vertex: v, vr: x.LHS, kills: true})
+			b.addExprUses(ni, v, x.RHS)
+
+		case *lang.IfStmt:
+			v := b.g.AddVertex(&Vertex{Kind: KindPredicate, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "if " + lang.ExprString(x.Cond)})
+			ni.vertex = v
+			b.addExprUses(ni, v, x.Cond)
+
+		case *lang.WhileStmt:
+			v := b.g.AddVertex(&Vertex{Kind: KindPredicate, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "while " + lang.ExprString(x.Cond)})
+			ni.vertex = v
+			b.addExprUses(ni, v, x.Cond)
+
+		case *lang.ReturnStmt:
+			v := b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "return " + lang.ExprString(x.Value)})
+			ni.vertex = v
+			if x.Value != nil && fn.ReturnsValue {
+				ni.defs = append(ni.defs, defEvent{vertex: v, vr: RetVar, kills: true})
+				b.addExprUses(ni, v, x.Value)
+			}
+
+		case *lang.BreakStmt:
+			ni.vertex = b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "break"})
+		case *lang.ContinueStmt:
+			ni.vertex = b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "continue"})
+
+		case *lang.CallStmt:
+			b.buildCallSite(p, ni, x)
+
+		case *lang.PrintfStmt:
+			site := &Site{ID: SiteID(len(b.g.Sites)), CallerProc: p.Index, Callee: "printf", Lib: true, Stmt: x}
+			b.g.Sites = append(b.g.Sites, site)
+			p.Sites = append(p.Sites, site.ID)
+			cv := b.g.AddVertex(&Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call printf"})
+			site.CallVertex = cv
+			ni.vertex = cv
+			for i, a := range x.Args {
+				ai := b.g.AddVertex(&Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: i, Label: lang.ExprString(a)})
+				site.ActualIns = append(site.ActualIns, ai)
+				b.g.AddEdge(cv, ai, EdgeControl)
+				for _, vr := range lang.ExprVars(a) {
+					ni.uses = append(ni.uses, useEvent{vertex: ai, vr: vr})
+				}
+				// §6.1: library signatures must not change; make the call
+				// depend on each of its actuals.
+				b.g.AddEdge(ai, cv, EdgeFlow)
+			}
+
+		case *lang.ScanfStmt:
+			site := &Site{ID: SiteID(len(b.g.Sites)), CallerProc: p.Index, Callee: "scanf", Lib: true, Stmt: x}
+			b.g.Sites = append(b.g.Sites, site)
+			p.Sites = append(p.Sites, site.ID)
+			cv := b.g.AddVertex(&Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call scanf"})
+			site.CallVertex = cv
+			ni.vertex = cv
+			ao := b.g.AddVertex(&Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: x.Var, Label: "&" + x.Var})
+			site.ActualOuts = append(site.ActualOuts, ao)
+			b.g.AddEdge(cv, ao, EdgeControl)
+			b.g.AddEdge(cv, ao, EdgeFlow) // the read value comes from the call
+			ni.defs = append(ni.defs, defEvent{vertex: ao, vr: x.Var, kills: true})
+			// §6.1 edge: the actual-out is the &var argument; slicing back
+			// from the call keeps its argument list intact.
+			b.g.AddEdge(ao, cv, EdgeFlow)
+
+		default:
+			return fmt.Errorf("sdg: unhandled statement %T", x)
+		}
+	}
+
+	// Control dependence edges (Ball–Horwitz augmented CFG).
+	deps := cfg.ControlDeps(graph)
+	for nodeID, controllers := range deps {
+		dep := info[nodeID].vertex
+		if dep < 0 {
+			continue
+		}
+		for _, ctl := range controllers {
+			src := info[ctl].vertex
+			if src < 0 {
+				continue
+			}
+			b.g.AddEdge(src, dep, EdgeControl)
+		}
+	}
+
+	// Flow dependence via reaching definitions over executable edges.
+	b.flowEdges(graph, info)
+	return nil
+}
+
+func (b *builder) addExprUses(ni *nodeInfo, v VertexID, e lang.Expr) {
+	if e == nil {
+		return
+	}
+	for _, vr := range lang.ExprVars(e) {
+		ni.uses = append(ni.uses, useEvent{vertex: v, vr: vr})
+	}
+}
+
+func (b *builder) buildCallSite(p *Proc, ni *nodeInfo, x *lang.CallStmt) {
+	calleeIdx := b.g.ProcByName[x.Callee]
+	calleeFn := b.g.Procs[calleeIdx].Fn
+	site := &Site{ID: SiteID(len(b.g.Sites)), CallerProc: p.Index, Callee: x.Callee, Stmt: x}
+	b.g.Sites = append(b.g.Sites, site)
+	p.Sites = append(p.Sites, site.ID)
+
+	cv := b.g.AddVertex(&Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call " + x.Callee})
+	site.CallVertex = cv
+	ni.vertex = cv
+
+	for i, a := range x.Args {
+		ai := b.g.AddVertex(&Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: i, Label: lang.ExprString(a)})
+		site.ActualIns = append(site.ActualIns, ai)
+		b.g.AddEdge(cv, ai, EdgeControl)
+		for _, vr := range lang.ExprVars(a) {
+			ni.uses = append(ni.uses, useEvent{vertex: ai, vr: vr})
+		}
+	}
+	for _, gname := range b.mr.FormalInGlobals(x.Callee).Sorted() {
+		ai := b.g.AddVertex(&Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " in"})
+		site.ActualIns = append(site.ActualIns, ai)
+		b.g.AddEdge(cv, ai, EdgeControl)
+		ni.uses = append(ni.uses, useEvent{vertex: ai, vr: gname})
+	}
+
+	if x.Target != "" && calleeFn.ReturnsValue {
+		ao := b.g.AddVertex(&Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: x.Target, IsReturn: true, Label: x.Target + " = ret"})
+		site.ActualOuts = append(site.ActualOuts, ao)
+		b.g.AddEdge(cv, ao, EdgeControl)
+		ni.defs = append(ni.defs, defEvent{vertex: ao, vr: x.Target, kills: true})
+	}
+	mustMod := b.mr.MustMod[x.Callee]
+	for _, gname := range b.mr.GMOD[x.Callee].Sorted() {
+		ao := b.g.AddVertex(&Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " out"})
+		site.ActualOuts = append(site.ActualOuts, ao)
+		b.g.AddEdge(cv, ao, EdgeControl)
+		ni.defs = append(ni.defs, defEvent{vertex: ao, vr: gname, kills: mustMod[gname]})
+	}
+}
+
+// flowEdges solves reaching definitions over the executable CFG and adds
+// flow-dependence edges from reaching defs to uses.
+func (b *builder) flowEdges(graph *cfg.Graph, info []nodeInfo) {
+	// Index all definitions.
+	type def struct {
+		vertex VertexID
+		vr     string
+	}
+	var defs []def
+	defIndex := map[def]int{}
+	defsOfVar := map[string][]int{}
+	for i := range info {
+		for _, d := range info[i].defs {
+			k := def{d.vertex, d.vr}
+			if _, ok := defIndex[k]; !ok {
+				defIndex[k] = len(defs)
+				defsOfVar[d.vr] = append(defsOfVar[d.vr], len(defs))
+				defs = append(defs, k)
+			}
+		}
+	}
+	nd := len(defs)
+	words := (nd + 63) / 64
+	newSet := func() []uint64 { return make([]uint64, words) }
+	setBit := func(s []uint64, i int) { s[i/64] |= 1 << (uint(i) % 64) }
+	clearBit := func(s []uint64, i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+	getBit := func(s []uint64, i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+	n := len(graph.Nodes)
+	inSets := make([][]uint64, n)
+	outSets := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		inSets[i] = newSet()
+		outSets[i] = newSet()
+	}
+
+	apply := func(nodeID int, in []uint64) []uint64 {
+		out := append([]uint64(nil), in...)
+		for _, d := range info[nodeID].defs {
+			if d.kills {
+				for _, di := range defsOfVar[d.vr] {
+					clearBit(out, di)
+				}
+			}
+		}
+		for _, d := range info[nodeID].defs {
+			setBit(out, defIndex[def{d.vertex, d.vr}])
+		}
+		return out
+	}
+
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	for i := 0; i < n; i++ {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		in := newSet()
+		for _, e := range graph.Preds[id] {
+			if e.Pseudo {
+				continue
+			}
+			for w := 0; w < words; w++ {
+				in[w] |= outSets[e.To][w]
+			}
+		}
+		inSets[id] = in
+		out := apply(id, in)
+		changed := false
+		for w := 0; w < words; w++ {
+			if out[w] != outSets[id][w] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			outSets[id] = out
+			for _, e := range graph.Succs[id] {
+				if e.Pseudo {
+					continue
+				}
+				if !inWork[e.To] {
+					inWork[e.To] = true
+					work = append(work, e.To)
+				}
+			}
+		}
+	}
+
+	for id := 0; id < n; id++ {
+		for _, u := range info[id].uses {
+			for _, di := range defsOfVar[u.vr] {
+				if getBit(inSets[id], di) {
+					b.g.AddEdge(defs[di].vertex, u.vertex, EdgeFlow)
+				}
+			}
+		}
+	}
+}
+
+// connectProcs adds call, parameter-in, and parameter-out edges.
+func (b *builder) connectProcs() {
+	for _, site := range b.g.Sites {
+		if site.Lib {
+			continue
+		}
+		callee := b.g.Procs[b.g.ProcByName[site.Callee]]
+		b.g.AddEdge(site.CallVertex, callee.Entry, EdgeCall)
+		// Parameter-in: positional by Param index, globals by Var.
+		for _, aiID := range site.ActualIns {
+			ai := b.g.Vertices[aiID]
+			for _, fiID := range callee.FormalIns {
+				fi := b.g.Vertices[fiID]
+				if matchFormal(ai, fi) {
+					b.g.AddEdge(aiID, fiID, EdgeParamIn)
+				}
+			}
+		}
+		for _, aoID := range site.ActualOuts {
+			ao := b.g.Vertices[aoID]
+			for _, foID := range callee.FormalOuts {
+				fo := b.g.Vertices[foID]
+				if (ao.IsReturn && fo.IsReturn) || (!ao.IsReturn && !fo.IsReturn && ao.Var == fo.Var) {
+					b.g.AddEdge(foID, aoID, EdgeParamOut)
+				}
+			}
+		}
+	}
+}
+
+func matchFormal(ai, fi *Vertex) bool {
+	if ai.Param != NoParam {
+		return fi.Param == ai.Param
+	}
+	return fi.Param == NoParam && ai.Var == fi.Var
+}

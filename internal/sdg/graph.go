@@ -1,0 +1,230 @@
+// Package sdg builds system dependence graphs (Horwitz–Reps–Binkley 1990)
+// for MicroC programs: one procedure dependence graph (PDG) per function —
+// entry, formal-in/out, call, actual-in/out, statement, and predicate
+// vertices with control and flow dependence edges — connected by call,
+// parameter-in, and parameter-out edges. Library calls (printf/scanf) get
+// the extra actual→call dependence edges of the paper's §6.1 so their
+// signatures survive slicing.
+package sdg
+
+import (
+	"fmt"
+	"sort"
+
+	"specslice/internal/lang"
+)
+
+// VertexID identifies an SDG vertex.
+type VertexID int
+
+// SiteID identifies a call-site.
+type SiteID int
+
+// VertexKind classifies SDG vertices.
+type VertexKind int
+
+const (
+	KindEntry VertexKind = iota
+	KindFormalIn
+	KindFormalOut
+	KindCall
+	KindActualIn
+	KindActualOut
+	KindStmt      // assignment, decl-with-init, return, break, continue
+	KindPredicate // if / while condition
+)
+
+var kindNames = [...]string{"entry", "formal-in", "formal-out", "call", "actual-in", "actual-out", "stmt", "pred"}
+
+func (k VertexKind) String() string { return kindNames[k] }
+
+// EdgeKind classifies SDG edges.
+type EdgeKind int
+
+const (
+	EdgeControl EdgeKind = iota
+	EdgeFlow
+	EdgeCall
+	EdgeParamIn
+	EdgeParamOut
+	EdgeSummary // actual-in → actual-out; computed by the slice package
+)
+
+var edgeNames = [...]string{"control", "flow", "call", "param-in", "param-out", "summary"}
+
+func (k EdgeKind) String() string { return edgeNames[k] }
+
+// NoParam marks formal/actual vertices that stand for a global or the
+// return value rather than a positional parameter.
+const NoParam = -1
+
+// Vertex is one SDG vertex.
+type Vertex struct {
+	ID   VertexID
+	Kind VertexKind
+	Proc int       // index into Graph.Procs
+	Stmt lang.Stmt // originating statement; nil for entry/formal vertices
+	Site SiteID    // for call/actual vertices; -1 otherwise
+	// Param is the 0-based parameter position for positional formal/actual
+	// vertices, or NoParam.
+	Param int
+	// Var is the variable a formal/actual global vertex stands for, or the
+	// return-value pseudo-variable.
+	Var string
+	// IsReturn marks the return-value formal-out/actual-out.
+	IsReturn bool
+	Label    string
+}
+
+// Edge is a directed SDG edge.
+type Edge struct {
+	From, To VertexID
+	Kind     EdgeKind
+}
+
+// Proc is the PDG of one procedure.
+type Proc struct {
+	Index      int
+	Name       string
+	Fn         *lang.FuncDecl
+	Entry      VertexID
+	FormalIns  []VertexID // positional params in order, then globals sorted by name
+	FormalOuts []VertexID // return value first (if any), then globals sorted by name
+	Vertices   []VertexID
+	Sites      []SiteID
+}
+
+// FormalInFor returns the formal-in vertex for positional parameter i.
+func (p *Proc) FormalInFor(g *Graph, i int) (VertexID, bool) {
+	for _, v := range p.FormalIns {
+		if g.Vertices[v].Param == i {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Site is one call-site (user call, printf, or scanf).
+type Site struct {
+	ID         SiteID
+	CallerProc int
+	Callee     string // callee function name; "printf"/"scanf" for library calls
+	Lib        bool
+	CallVertex VertexID
+	ActualIns  []VertexID // positional args in order, then globals sorted by name
+	ActualOuts []VertexID // return value first (if present), then globals sorted by name
+	Stmt       lang.Stmt
+}
+
+// Graph is a system dependence graph.
+type Graph struct {
+	Prog     *lang.Program
+	Vertices []*Vertex
+	Procs    []*Proc
+	Sites    []*Site
+
+	ProcByName map[string]int
+
+	out [][]Edge
+	in  [][]Edge
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Vertices) }
+
+// AddVertex appends a vertex and returns its ID.
+func (g *Graph) AddVertex(v *Vertex) VertexID {
+	v.ID = VertexID(len(g.Vertices))
+	g.Vertices = append(g.Vertices, v)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	if v.Proc >= 0 && v.Proc < len(g.Procs) {
+		g.Procs[v.Proc].Vertices = append(g.Procs[v.Proc].Vertices, v.ID)
+	}
+	return v.ID
+}
+
+// AddEdge inserts the edge if not already present.
+func (g *Graph) AddEdge(from, to VertexID, kind EdgeKind) {
+	for _, e := range g.out[from] {
+		if e.To == to && e.Kind == kind {
+			return
+		}
+	}
+	e := Edge{From: from, To: to, Kind: kind}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+}
+
+// Out returns the outgoing edges of v.
+func (g *Graph) Out(v VertexID) []Edge { return g.out[v] }
+
+// In returns the incoming edges of v.
+func (g *Graph) In(v VertexID) []Edge { return g.in[v] }
+
+// Edges returns all edges, ordered by source vertex.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, es := range g.out {
+		out = append(out, es...)
+	}
+	return out
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// ProcOf returns the PDG containing v.
+func (g *Graph) ProcOf(v VertexID) *Proc { return g.Procs[g.Vertices[v].Proc] }
+
+// SiteCalls returns the call-sites calling procedure name.
+func (g *Graph) SiteCalls(name string) []*Site {
+	var out []*Site
+	for _, s := range g.Sites {
+		if s.Callee == name && !s.Lib {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// VertexString renders v for diagnostics.
+func (g *Graph) VertexString(v VertexID) string {
+	vx := g.Vertices[v]
+	proc := "?"
+	if vx.Proc >= 0 {
+		proc = g.Procs[vx.Proc].Name
+	}
+	return fmt.Sprintf("v%d[%s %s %s]", v, proc, vx.Kind, vx.Label)
+}
+
+// SortedGlobals returns the program's non-fnptr global names, sorted.
+func SortedGlobals(prog *lang.Program) []string {
+	var out []string
+	for _, g := range prog.Globals {
+		if !g.IsFnPtr {
+			out = append(out, g.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes a graph for reporting.
+type Stats struct {
+	Procs     int
+	Vertices  int
+	Edges     int
+	CallSites int
+}
+
+// Statistics returns summary counts.
+func (g *Graph) Statistics() Stats {
+	return Stats{Procs: len(g.Procs), Vertices: len(g.Vertices), Edges: g.NumEdges(), CallSites: len(g.Sites)}
+}

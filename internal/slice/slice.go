@@ -1,0 +1,274 @@
+// Package slice implements closure slicing of SDGs: summary-edge
+// computation and the two-phase context-sensitive interprocedural
+// backward/forward slicing algorithm of Horwitz, Reps, and Binkley (1990),
+// plus a context-insensitive Weiser-style executable slice used as a
+// baseline in the paper's §5.
+package slice
+
+import (
+	"sort"
+
+	"specslice/internal/sdg"
+)
+
+// VSet is a set of SDG vertices.
+type VSet map[sdg.VertexID]bool
+
+// NewVSet builds a set from vertices.
+func NewVSet(vs ...sdg.VertexID) VSet {
+	s := VSet{}
+	for _, v := range vs {
+		s[v] = true
+	}
+	return s
+}
+
+// Sorted returns the members in ascending order.
+func (s VSet) Sorted() []sdg.VertexID {
+	out := make([]sdg.VertexID, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports set equality.
+func (s VSet) Equal(o VSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for v := range s {
+		if !o[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the set.
+func (s VSet) Clone() VSet {
+	c := make(VSet, len(s))
+	for v := range s {
+		c[v] = true
+	}
+	return c
+}
+
+// ComputeSummaryEdges adds summary edges (actual-in → actual-out) to g for
+// every same-level realizable path from the matching formal-in to the
+// matching formal-out, using the HRB worklist algorithm. It is idempotent.
+func ComputeSummaryEdges(g *sdg.Graph) {
+	type pair struct {
+		v  sdg.VertexID
+		fo sdg.VertexID
+	}
+	seen := map[pair]bool{}
+	// pairsFrom[v] lists the formal-outs reachable same-level from v.
+	pairsFrom := map[sdg.VertexID][]sdg.VertexID{}
+	var work []pair
+	add := func(v, fo sdg.VertexID) {
+		p := pair{v, fo}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		pairsFrom[v] = append(pairsFrom[v], fo)
+		work = append(work, p)
+	}
+
+	// actualInFor / actualOutFor find a site's vertex matching a formal.
+	actualInFor := func(site *sdg.Site, fi *sdg.Vertex) (sdg.VertexID, bool) {
+		for _, aiID := range site.ActualIns {
+			ai := g.Vertices[aiID]
+			if fi.Param != sdg.NoParam {
+				if ai.Param == fi.Param {
+					return aiID, true
+				}
+			} else if ai.Param == sdg.NoParam && ai.Var == fi.Var {
+				return aiID, true
+			}
+		}
+		return 0, false
+	}
+	actualOutFor := func(site *sdg.Site, fo *sdg.Vertex) (sdg.VertexID, bool) {
+		for _, aoID := range site.ActualOuts {
+			ao := g.Vertices[aoID]
+			if fo.IsReturn {
+				if ao.IsReturn {
+					return aoID, true
+				}
+			} else if !ao.IsReturn && ao.Var == fo.Var {
+				return aoID, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, p := range g.Procs {
+		for _, fo := range p.FormalOuts {
+			add(fo, fo)
+		}
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		vx := g.Vertices[it.v]
+		if vx.Kind == sdg.KindFormalIn {
+			fi := vx
+			fo := g.Vertices[it.fo]
+			for _, site := range g.SiteCalls(g.Procs[fi.Proc].Name) {
+				ai, ok1 := actualInFor(site, fi)
+				ao, ok2 := actualOutFor(site, fo)
+				if !ok1 || !ok2 {
+					continue
+				}
+				if !hasEdge(g, ai, ao, sdg.EdgeSummary) {
+					g.AddEdge(ai, ao, sdg.EdgeSummary)
+					for _, fo2 := range pairsFrom[ao] {
+						add(ai, fo2)
+					}
+				}
+			}
+		}
+		for _, e := range g.In(it.v) {
+			switch e.Kind {
+			case sdg.EdgeControl, sdg.EdgeFlow, sdg.EdgeSummary:
+				add(e.From, it.fo)
+			}
+		}
+	}
+}
+
+func hasEdge(g *sdg.Graph, from, to sdg.VertexID, kind sdg.EdgeKind) bool {
+	for _, e := range g.Out(from) {
+		if e.To == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Backward computes the context-sensitive backward closure slice of g with
+// respect to the criterion vertices, using the HRB two-phase algorithm.
+// Summary edges must have been computed (ComputeSummaryEdges).
+func Backward(g *sdg.Graph, criterion []sdg.VertexID) VSet {
+	// Phase 1: ascend — follow all edges backward except parameter-out.
+	phase1 := reach(g, criterion, nil, func(k sdg.EdgeKind) bool {
+		return k != sdg.EdgeParamOut
+	})
+	// Phase 2: descend — follow all edges backward except call and
+	// parameter-in.
+	phase2 := reach(g, phase1.Sorted(), phase1, func(k sdg.EdgeKind) bool {
+		return k != sdg.EdgeCall && k != sdg.EdgeParamIn
+	})
+	return phase2
+}
+
+// Forward computes the context-sensitive forward closure slice: the vertices
+// the criterion may affect. Summary edges must have been computed.
+func Forward(g *sdg.Graph, criterion []sdg.VertexID) VSet {
+	// Phase 1: follow all edges forward except call and parameter-in
+	// (do not descend; ascend via parameter-out).
+	phase1 := reachFwd(g, criterion, nil, func(k sdg.EdgeKind) bool {
+		return k != sdg.EdgeCall && k != sdg.EdgeParamIn
+	})
+	// Phase 2: follow all edges forward except parameter-out.
+	phase2 := reachFwd(g, phase1.Sorted(), phase1, func(k sdg.EdgeKind) bool {
+		return k != sdg.EdgeParamOut
+	})
+	return phase2
+}
+
+func reach(g *sdg.Graph, seeds []sdg.VertexID, init VSet, follow func(sdg.EdgeKind) bool) VSet {
+	out := VSet{}
+	if init != nil {
+		out = init.Clone()
+	}
+	var work []sdg.VertexID
+	for _, v := range seeds {
+		out[v] = true
+		work = append(work, v)
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.In(v) {
+			if !follow(e.Kind) || out[e.From] {
+				continue
+			}
+			out[e.From] = true
+			work = append(work, e.From)
+		}
+	}
+	return out
+}
+
+func reachFwd(g *sdg.Graph, seeds []sdg.VertexID, init VSet, follow func(sdg.EdgeKind) bool) VSet {
+	out := VSet{}
+	if init != nil {
+		out = init.Clone()
+	}
+	var work []sdg.VertexID
+	for _, v := range seeds {
+		out[v] = true
+		work = append(work, v)
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.Out(v) {
+			if !follow(e.Kind) || out[e.To] {
+				continue
+			}
+			out[e.To] = true
+			work = append(work, e.To)
+		}
+	}
+	return out
+}
+
+// Weiser computes a context-insensitive executable backward slice in the
+// style of Weiser's algorithm as characterized by Binkley: call-sites are
+// atomic (one parameter in the slice pulls in all parameters of the site and
+// the callee's full interface), and calling contexts are not distinguished.
+func Weiser(g *sdg.Graph, criterion []sdg.VertexID) VSet {
+	out := VSet{}
+	var work []sdg.VertexID
+	push := func(v sdg.VertexID) {
+		if !out[v] {
+			out[v] = true
+			work = append(work, v)
+		}
+	}
+	for _, v := range criterion {
+		push(v)
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.In(v) {
+			if e.Kind == sdg.EdgeSummary {
+				continue // context-insensitive traversal uses real edges only
+			}
+			push(e.From)
+		}
+		// Atomicity: any vertex of a call site pulls in the call vertex and
+		// every actual parameter of that site.
+		vx := g.Vertices[v]
+		if vx.Site >= 0 {
+			site := g.Sites[vx.Site]
+			push(site.CallVertex)
+			for _, ai := range site.ActualIns {
+				push(ai)
+			}
+		}
+		// A sliced procedure keeps its full declared parameter list.
+		if vx.Kind == sdg.KindEntry {
+			for _, fi := range g.Procs[vx.Proc].FormalIns {
+				push(fi)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+// Package workload provides the programs the experiments run on: the
+// paper's figure examples (Figs. 1, 2, 13, 14, 15, 16), a wc-like utility
+// for the §5 speed-up measurement, the exponential family Pk of §4.3, and a
+// seeded synthetic generator that produces benchmark suites shaped like the
+// paper's Fig. 17 test programs (the Siemens suite, wc, gzip, space, flex,
+// go — whose C sources are not available offline; see DESIGN.md's
+// substitution table).
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"specslice/internal/lang"
+)
+
+// Fig1Source is the paper's Fig. 1(a): three calls to p with different
+// relevant-parameter patterns.
+const Fig1Source = `
+int g1; int g2; int g3;
+
+void p(int a, int b) {
+  g1 = a;
+  g2 = b;
+  g3 = g2;
+}
+
+int main() {
+  g2 = 100;
+  p(g2, 2);
+  p(g2, 3);
+  p(4, g1 + g2);
+  printf("%d", g2);
+  return 0;
+}
+`
+
+// Fig2Source is the paper's Fig. 2(a): direct recursion that specializes
+// into mutual recursion.
+const Fig2Source = `
+int g1; int g2;
+
+void s(int a, int b) {
+  g1 = b;
+  g2 = a;
+}
+
+void r(int k) {
+  if (k > 0) {
+    s(g1, g2);
+    r(k - 1);
+    s(g1, g2);
+  }
+}
+
+int main() {
+  g1 = 1;
+  g2 = 2;
+  r(3);
+  printf("%d\n", g1);
+  return 0;
+}
+`
+
+// Fig15Source is the paper's Fig. 15 function-pointer example (the
+// unpredictable branch reads from input instead of the paper's "...").
+const Fig15Source = `
+int f(int a, int b) {
+  return a + b;
+}
+
+int g(int a, int b) {
+  return a;
+}
+
+int main() {
+  fnptr p;
+  int x;
+  int c;
+  scanf("%d", &c);
+  if (c > 0) { p = f; } else { p = &g; }
+  x = p(1, 2);
+  printf("%d", x);
+  return 0;
+}
+`
+
+// Fig16Source is the paper's Fig. 16 sum/product tally program, with the
+// reference parameters expressed as globals.
+const Fig16Source = `
+int sum; int prod;
+
+int add(int a, int b) {
+  return a + b;
+}
+
+int mult(int a, int b) {
+  int i = 0;
+  int ans = 0;
+  while (i < a) {
+    ans = add(ans, b);
+    i = add(i, 1);
+  }
+  return ans;
+}
+
+void tally(int n) {
+  int i = 1;
+  while (i <= n) {
+    sum = add(sum, i);
+    prod = mult(prod, i);
+    i = add(i, 1);
+  }
+}
+
+int main() {
+  sum = 0;
+  prod = 1;
+  tally(10);
+  printf("%d ", sum);
+  printf("%d ", prod);
+  return 0;
+}
+`
+
+// Fig1Program parses Fig1Source.
+func Fig1Program() *lang.Program { return lang.MustParse(Fig1Source) }
+
+// Fig2Program parses Fig2Source.
+func Fig2Program() *lang.Program { return lang.MustParse(Fig2Source) }
+
+// Fig15Program parses Fig15Source.
+func Fig15Program() *lang.Program { return lang.MustParse(Fig15Source) }
+
+// Fig16Program parses Fig16Source.
+func Fig16Program() *lang.Program { return lang.MustParse(Fig16Source) }
+
+// PkSource generates the kth member of the paper's §4.3 / Fig. 13 family,
+// whose specialization slice has 2^k specialized versions of Pk: the i-th
+// recursive call-site is followed by assignments that zero out temporary
+// t_i, breaking the dependence between that call-site and the formal-out
+// for global g_i.
+func PkSource(k int) string {
+	var sb strings.Builder
+	for i := 1; i <= k; i++ {
+		fmt.Fprintf(&sb, "int g%d;\n", i)
+	}
+	sb.WriteString("\nvoid Pk(int m) {\n  int v;\n")
+	for i := 1; i <= k; i++ {
+		fmt.Fprintf(&sb, "  int t%d;\n", i)
+	}
+	sb.WriteString("  if (m == 0) { return; }\n")
+	sb.WriteString("  scanf(\"%d\", &v);\n")
+	for i := 1; i <= k; i++ {
+		if i == 1 {
+			fmt.Fprintf(&sb, "  if (v == %d) {\n", i)
+		} else {
+			fmt.Fprintf(&sb, "  } else if (v == %d) {\n", i)
+		}
+		sb.WriteString("    Pk(m - 1);\n")
+		for j := 1; j <= k; j++ {
+			if j == i {
+				fmt.Fprintf(&sb, "    t%d = 0;\n", j)
+			} else {
+				fmt.Fprintf(&sb, "    t%d = g%d;\n", j, j)
+			}
+		}
+	}
+	sb.WriteString("  } else {\n")
+	sb.WriteString("    Pk(m - 1);\n")
+	for j := 1; j <= k; j++ {
+		fmt.Fprintf(&sb, "    t%d = g%d;\n", j, j)
+	}
+	sb.WriteString("  }\n")
+	for j := 1; j <= k; j++ {
+		fmt.Fprintf(&sb, "  g%d = t%d;\n", j, j)
+	}
+	sb.WriteString("}\n\nint main() {\n")
+	for i := 1; i <= k; i++ {
+		fmt.Fprintf(&sb, "  g%d = %d;\n", i, i)
+	}
+	fmt.Fprintf(&sb, "  Pk(%d);\n", k)
+	sb.WriteString("  printf(\"%d\\n\", ")
+	var terms []string
+	for i := 1; i <= k; i++ {
+		terms = append(terms, fmt.Sprintf("g%d", i))
+	}
+	sb.WriteString(strings.Join(terms, " + "))
+	sb.WriteString(");\n  return 0;\n}\n")
+	return sb.String()
+}
+
+// PkProgram parses PkSource(k).
+func PkProgram(k int) *lang.Program { return lang.MustParse(PkSource(k)) }
+
+// WcSource is a word-count-like utility for the paper's §5 speed-up
+// experiment: it reads characters (as integers; 0 terminates, 10 is
+// newline, 32 is space) and counts lines, words, and characters, printing
+// each with its own printf. Slicing on one printf removes the other
+// counters' work.
+const WcSource = `
+int lines; int words; int chars;
+
+int isspacey(int c) {
+  if (c == 32) { return 1; }
+  if (c == 10) { return 1; }
+  return 0;
+}
+
+void count() {
+  int c;
+  int inword = 0;
+  int sp;
+  scanf("%d", &c);
+  while (c != 0) {
+    chars = chars + 1;
+    if (c == 10) {
+      lines = lines + 1;
+    }
+    sp = isspacey(c);
+    if (sp == 1) {
+      inword = 0;
+    } else {
+      if (inword == 0) {
+        words = words + 1;
+      }
+      inword = 1;
+    }
+    scanf("%d", &c);
+  }
+}
+
+int main() {
+  count();
+  printf("%d\n", lines);
+  printf("%d\n", words);
+  printf("%d\n", chars);
+  return 0;
+}
+`
+
+// WcProgram parses WcSource.
+func WcProgram() *lang.Program { return lang.MustParse(WcSource) }
+
+// WcInput renders text as the integer stream WcProgram reads.
+func WcInput(text string) []int64 {
+	var out []int64
+	for i := 0; i < len(text); i++ {
+		out = append(out, int64(text[i]))
+	}
+	return append(out, 0)
+}

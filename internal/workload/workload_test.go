@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"specslice/internal/interp"
+	"specslice/internal/lang"
+	"specslice/internal/sdg"
+)
+
+func TestFigurePrograms(t *testing.T) {
+	for name, prog := range map[string]*lang.Program{
+		"fig1": Fig1Program(), "fig2": Fig2Program(), "fig16": Fig16Program(),
+	} {
+		if _, err := sdg.Build(prog); err != nil {
+			t.Errorf("%s: SDG build failed: %v", name, err)
+		}
+	}
+	// fig15 has indirect calls; it must parse but not build directly.
+	if _, err := sdg.Build(Fig15Program()); err == nil {
+		t.Error("fig15 should require the funcptr transformation")
+	}
+}
+
+func TestPkSourceShape(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		prog := PkProgram(k)
+		g, err := sdg.Build(prog)
+		if err != nil {
+			t.Fatalf("Pk(%d): %v", k, err)
+		}
+		// Pk has k+1 recursive call-sites on itself (k branches + else).
+		if got := len(g.SiteCalls("Pk")); got != k+2 { // +1 for main's call
+			t.Errorf("Pk(%d): %d call sites on Pk, want %d", k, got, k+2)
+		}
+	}
+}
+
+func TestPkRuns(t *testing.T) {
+	prog := PkProgram(3)
+	res, err := interp.Run(prog, interp.Options{Input: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatalf("Pk(3) run: %v", err)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestWcProgram(t *testing.T) {
+	prog := WcProgram()
+	res, err := interp.Run(prog, interp.Options{Input: WcInput("hello world\nfoo bar baz\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"2\n", "5\n", "24\n"}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Errorf("wc output[%d] = %q, want %q", i, res.Output[i], w)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Benchmarks()[0]
+	if GenerateSource(cfg) != GenerateSource(cfg) {
+		t.Error("generator is not deterministic")
+	}
+}
+
+func TestGeneratedProgramsBuild(t *testing.T) {
+	for _, cfg := range SmallBenchmarks() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			prog := Generate(cfg)
+			g, err := sdg.Build(prog)
+			if err != nil {
+				t.Fatalf("SDG: %v", err)
+			}
+			st := g.Statistics()
+			if st.Procs != cfg.Procs {
+				t.Errorf("procs = %d, want %d", st.Procs, cfg.Procs)
+			}
+			// Vertex count within a factor of ~3 of the target.
+			if st.Vertices < cfg.TargetVertices/3 || st.Vertices > cfg.TargetVertices*3 {
+				t.Errorf("vertices = %d, target %d (out of tolerance)", st.Vertices, cfg.TargetVertices)
+			}
+			if st.CallSites == 0 {
+				t.Error("no call sites generated")
+			}
+		})
+	}
+}
+
+func TestGeneratedSourceReparses(t *testing.T) {
+	cfg := Benchmarks()[2]
+	src := GenerateSource(cfg)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, src[:min(len(src), 2000)])
+	}
+	if !strings.Contains(lang.Print(prog), "int main()") {
+		t.Error("no main in generated source")
+	}
+}

@@ -1,0 +1,317 @@
+// Package specslice is an executable-slicing toolkit for MicroC programs,
+// reproducing "Specialization Slicing" (Aung, Horwitz, Joiner, Reps;
+// PLDI 2014 / TOPLAS). It provides:
+//
+//   - Specialization (polyvariant executable) slicing — the paper's
+//     contribution: an optimal, automaton-based slicer that may emit
+//     multiple specialized copies of a procedure so the output slice is
+//     executable, sound, complete, and minimal.
+//   - The monovariant executable-slicing baselines (Binkley 1993,
+//     Weiser-style) the paper compares against.
+//   - Feature removal for multi-procedure programs (paper §7).
+//   - Function-pointer / indirect-call support (paper §6.2).
+//   - A MicroC front end, system-dependence-graph construction, and an
+//     interpreter for validating slice behavior.
+//
+// Quick start:
+//
+//	prog, _ := specslice.Parse(src)
+//	g, _ := prog.SDG()
+//	slice, _ := g.SpecializationSlice(g.PrintfCriterion("main"))
+//	out, _ := slice.Program()
+//	fmt.Println(out.Source())
+//
+// The underlying machinery (pushdown systems, Prestar/Poststar, the
+// minimal-reverse-deterministic automaton pipeline) lives in internal
+// packages; this package is the stable surface.
+package specslice
+
+import (
+	"errors"
+	"fmt"
+
+	"specslice/internal/core"
+	"specslice/internal/emit"
+	"specslice/internal/feature"
+	"specslice/internal/funcptr"
+	"specslice/internal/interp"
+	"specslice/internal/lang"
+	"specslice/internal/mono"
+	"specslice/internal/sdg"
+	"specslice/internal/slice"
+)
+
+// Program is a parsed MicroC program.
+type Program struct {
+	ast *lang.Program
+}
+
+// Parse parses MicroC source text.
+func Parse(src string) (*Program, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: ast}, nil
+}
+
+// MustParse parses src and panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Source pretty-prints the program.
+func (p *Program) Source() string { return lang.Print(p.ast) }
+
+// RunOptions configures program execution.
+type RunOptions struct {
+	// Input is the stream scanf reads from.
+	Input []int64
+	// MaxSteps bounds executed statements (default 1e7).
+	MaxSteps int64
+}
+
+// RunResult reports an execution.
+type RunResult struct {
+	// Output holds one string per executed printf.
+	Output []string
+	// Steps is the number of statements executed.
+	Steps int64
+}
+
+// Run interprets the program's main.
+func (p *Program) Run(opts RunOptions) (*RunResult, error) {
+	res, err := interp.Run(p.ast, interp.Options{Input: opts.Input, MaxSteps: opts.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Output: res.Output, Steps: res.Steps}, nil
+}
+
+// EliminateIndirectCalls applies the paper's §6.2 transformation, returning
+// a behaviorally equivalent program whose calls are all direct (indirect
+// calls are routed through synthesized dispatch procedures). Programs
+// without indirect calls are returned unchanged.
+func (p *Program) EliminateIndirectCalls() (*Program, error) {
+	out, _, err := funcptr.Transform(p.ast)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: out}, nil
+}
+
+// SDG builds the program's system dependence graph. Programs with indirect
+// calls must call EliminateIndirectCalls first.
+func (p *Program) SDG() (*SDG, error) {
+	g, err := sdg.Build(p.ast)
+	if err != nil {
+		return nil, err
+	}
+	return &SDG{g: g}, nil
+}
+
+// SDG is a system dependence graph ready for slicing.
+type SDG struct {
+	g *sdg.Graph
+}
+
+// Stats summarizes the graph.
+type Stats struct {
+	Procs     int
+	Vertices  int
+	Edges     int
+	CallSites int
+}
+
+// Stats returns summary counts.
+func (s *SDG) Stats() Stats {
+	st := s.g.Statistics()
+	return Stats{Procs: st.Procs, Vertices: st.Vertices, Edges: st.Edges, CallSites: st.CallSites}
+}
+
+// Criterion selects the slice's target program elements.
+type Criterion struct {
+	vertices []sdg.VertexID
+	err      error
+}
+
+// PrintfCriterion selects the arguments of every printf in the named
+// procedure (or everywhere when proc is "") — the criterion shape used
+// throughout the paper.
+func (s *SDG) PrintfCriterion(proc string) Criterion {
+	vs := core.PrintfCriterion(s.g, proc)
+	if len(vs) == 0 {
+		return Criterion{err: fmt.Errorf("specslice: no printf in %q", proc)}
+	}
+	return Criterion{vertices: vs}
+}
+
+// LineCriterion selects every statement on the given source line. A call
+// statement stands for the variables it uses and defines, so its criterion
+// vertices are the call's actual-in and actual-out vertices (a bare call
+// vertex depends on nothing and would slice to almost nothing).
+func (s *SDG) LineCriterion(line int) Criterion {
+	var vs []sdg.VertexID
+	for _, v := range s.g.Vertices {
+		if v.Stmt == nil || v.Stmt.Base().Pos.Line != line {
+			continue
+		}
+		switch v.Kind {
+		case sdg.KindStmt, sdg.KindPredicate:
+			vs = append(vs, v.ID)
+		case sdg.KindCall:
+			site := s.g.Sites[v.Site]
+			vs = append(vs, site.ActualIns...)
+			vs = append(vs, site.ActualOuts...)
+			if len(site.ActualIns)+len(site.ActualOuts) == 0 {
+				vs = append(vs, v.ID)
+			}
+		}
+	}
+	if len(vs) == 0 {
+		return Criterion{err: fmt.Errorf("specslice: no statement on line %d", line)}
+	}
+	return Criterion{vertices: vs}
+}
+
+// StmtCriterion selects statements whose printed form matches label in the
+// named procedure (e.g. "prod = 1").
+func (s *SDG) StmtCriterion(proc, label string) Criterion {
+	vs := feature.ForwardCriterion(s.g, proc, label)
+	if len(vs) == 0 {
+		return Criterion{err: fmt.Errorf("specslice: no statement %q in %s", label, proc)}
+	}
+	return Criterion{vertices: vs}
+}
+
+func (c Criterion) configs() core.Configs {
+	var out core.Configs
+	for _, v := range c.vertices {
+		out = append(out, core.Config{Vertex: v})
+	}
+	return out
+}
+
+// Slice is a computed executable slice (polyvariant or monovariant).
+type Slice struct {
+	src      *sdg.Graph
+	variants []core.ProcVariant
+	counts   map[string]int
+	res      *core.Result // nil for monovariant slices
+	spec     core.CriterionSpec
+}
+
+// SpecializationSlice computes the paper's polyvariant executable slice
+// (Alg. 1). Criterion vertices in procedures other than main are sliced in
+// all of their reachable calling contexts.
+func (s *SDG) SpecializationSlice(c Criterion) (*Slice, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	var spec core.CriterionSpec
+	if s.allInMain(c) {
+		spec = c.configs()
+	} else {
+		spec = core.Vertices(c.vertices)
+	}
+	res, err := core.Specialize(s.g, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Slice{src: s.g, variants: res.Variants(), counts: res.VariantCounts(), res: res, spec: spec}, nil
+}
+
+func (s *SDG) allInMain(c Criterion) bool {
+	for _, v := range c.vertices {
+		if s.g.Procs[s.g.Vertices[v].Proc].Name != "main" {
+			return false
+		}
+	}
+	return true
+}
+
+// MonovariantSlice computes Binkley's monovariant executable slice.
+func (s *SDG) MonovariantSlice(c Criterion) (*Slice, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	res := mono.Binkley(s.g, c.vertices)
+	return &Slice{src: s.g, variants: res.Variants(), counts: singleCounts(res.Variants())}, nil
+}
+
+// WeiserSlice computes the Weiser-style executable slice baseline.
+func (s *SDG) WeiserSlice(c Criterion) (*Slice, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	res := mono.Weiser(s.g, c.vertices)
+	return &Slice{src: s.g, variants: res.Variants(), counts: singleCounts(res.Variants())}, nil
+}
+
+// RemoveFeature computes the paper's §7 feature removal: the program minus
+// the forward slice of the criterion, specialized to stay executable.
+func (s *SDG) RemoveFeature(c Criterion) (*Slice, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	res, err := feature.Remove(s.g, c.vertices)
+	if err != nil {
+		return nil, err
+	}
+	return &Slice{src: s.g, variants: res.Variants(), counts: res.VariantCounts(), res: res}, nil
+}
+
+// ClosureSliceSize returns the number of program elements in the HRB
+// closure slice from the criterion (the paper's baseline size metric).
+func (s *SDG) ClosureSliceSize(c Criterion) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	slice.ComputeSummaryEdges(s.g)
+	return len(slice.Backward(s.g, c.vertices)), nil
+}
+
+func singleCounts(vars []core.ProcVariant) map[string]int {
+	out := map[string]int{}
+	for _, v := range vars {
+		out[v.Orig.Name]++
+	}
+	return out
+}
+
+// Program emits the slice as an executable MicroC program.
+func (sl *Slice) Program() (*Program, error) {
+	out, err := emit.Program(sl.src, sl.variants)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: out}, nil
+}
+
+// VariantCounts reports how many specialized versions each sliced
+// procedure received (always 1 for monovariant slices).
+func (sl *Slice) VariantCounts() map[string]int { return sl.counts }
+
+// Vertices returns the total vertex count of the slice (counting
+// replicated elements once per copy).
+func (sl *Slice) Vertices() int {
+	n := 0
+	for _, v := range sl.variants {
+		n += len(v.Vertices)
+	}
+	return n
+}
+
+// SelfCheck runs the paper's §8.3 reslicing validation (polyvariant slices
+// only): the output, sliced again, must yield the same configuration
+// language modulo renaming.
+func (sl *Slice) SelfCheck() error {
+	if sl.res == nil || sl.spec == nil {
+		return errors.New("specslice: self-check applies to specialization slices")
+	}
+	return sl.res.ReslicingCheck(sl.spec)
+}

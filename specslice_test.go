@@ -1,0 +1,170 @@
+package specslice_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"specslice"
+	"specslice/internal/workload"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	prog := specslice.MustParse(workload.Fig1Source)
+	g, err := prog.SDG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Procs != 2 || st.Vertices == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	sl, err := g.SpecializationSlice(g.PrintfCriterion("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.VariantCounts()["p"] != 2 {
+		t.Errorf("variants of p = %d, want 2", sl.VariantCounts()["p"])
+	}
+	out, err := sl.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := prog.Run(specslice.RunOptions{})
+	r2, err := out.Run(specslice.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Output, r2.Output) {
+		t.Errorf("outputs differ: %v vs %v", r1.Output, r2.Output)
+	}
+	if err := sl.SelfCheck(); err != nil {
+		t.Errorf("self-check: %v", err)
+	}
+}
+
+func TestFacadeCriteria(t *testing.T) {
+	prog := specslice.MustParse(workload.Fig16Source)
+	g, err := prog.SDG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line criterion: slicing on tally's call line.
+	line := 0
+	for i, l := range strings.Split(workload.Fig16Source, "\n") {
+		if strings.Contains(l, "tally(10);") {
+			line = i + 1
+		}
+	}
+	sl, err := g.SpecializationSlice(g.LineCriterion(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sl.Program(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad criteria produce errors, not panics.
+	if _, err := g.SpecializationSlice(g.LineCriterion(99999)); err == nil {
+		t.Error("want error for empty line criterion")
+	}
+	if _, err := g.SpecializationSlice(g.PrintfCriterion("nosuch")); err == nil {
+		t.Error("want error for printf criterion in unknown proc")
+	}
+}
+
+func TestFacadeFeatureRemoval(t *testing.T) {
+	prog := specslice.MustParse(workload.Fig16Source)
+	g, err := prog.SDG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := g.RemoveFeature(g.StmtCriterion("main", "prod = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sl.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := out.Run(specslice.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Output, "")
+	if !strings.Contains(joined, "55") || strings.Contains(joined, "3628800") {
+		t.Errorf("feature removal output = %v", r.Output)
+	}
+}
+
+func TestFacadeMonoAndWeiser(t *testing.T) {
+	prog := specslice.MustParse(workload.Fig1Source)
+	g, err := prog.SDG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := g.PrintfCriterion("main")
+	monoSl, err := g.MonovariantSlice(crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weiserSl, err := g.WeiserSlice(crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sl := range []*specslice.Slice{monoSl, weiserSl} {
+		for _, n := range sl.VariantCounts() {
+			if n != 1 {
+				t.Error("monovariant slice with multiple variants")
+			}
+		}
+		out, err := sl.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := out.Run(specslice.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Output[0] != "5" {
+			t.Errorf("output = %v, want [5]", r.Output)
+		}
+	}
+	// Self-check is a polyvariant-only feature.
+	if err := monoSl.SelfCheck(); err == nil {
+		t.Error("want error from SelfCheck on a monovariant slice")
+	}
+	// Closure size baseline must be positive and ≤ mono vertices.
+	n, err := g.ClosureSliceSize(crit)
+	if err != nil || n == 0 {
+		t.Errorf("closure size = %d, %v", n, err)
+	}
+}
+
+func TestFacadeFuncptr(t *testing.T) {
+	prog := specslice.MustParse(workload.Fig15Source)
+	if _, err := prog.SDG(); err == nil {
+		t.Fatal("SDG must reject indirect calls")
+	}
+	direct, err := prog.EliminateIndirectCalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := direct.SDG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := g.SpecializationSlice(g.PrintfCriterion("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sl.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := out.Run(specslice.RunOptions{Input: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Output[0] != "3" {
+		t.Errorf("output = %v, want [3]", r.Output)
+	}
+}
