@@ -12,8 +12,10 @@ import (
 	"strings"
 	"testing"
 
+	"specslice"
 	"specslice/internal/core"
 	"specslice/internal/emit"
+	"specslice/internal/engine"
 	"specslice/internal/interp"
 	"specslice/internal/lang"
 	"specslice/internal/mono"
@@ -55,6 +57,84 @@ func BenchmarkFig14Slices(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineReuse compares the cold one-shot path (parse + SDG build
+// + encode + slice per request, the public API's cold start) against warm
+// slices served from one reused engine on the Fig. 14 workload. The warm
+// path amortizes the SDG, the PDS encoding, and the Prestar rule indexes.
+func BenchmarkEngineReuse(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := specslice.MustParse(workload.Fig1Source).SDG()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.SpecializationSlice(g.PrintfCriterion("main")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng, err := specslice.MustParse(workload.Fig1Source).Engine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Warm(); err != nil {
+			b.Fatal(err)
+		}
+		crit := eng.SDG().PrintfCriterion("main")
+		if _, err := eng.SpecializationSlice(crit); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SpecializationSlice(crit); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchSlices fans 16 criteria over the tcas suite: sequential
+// one-shot slicing (rebuild everything per criterion) vs. the engine's
+// SliceAll with a GOMAXPROCS worker pool sharing one analysis state.
+func BenchmarkBatchSlices(b *testing.B) {
+	cfg := benchConfig("tcas")
+	prog := workload.Generate(cfg)
+	g := sdg.MustBuild(prog)
+	sites := printfSites(g)
+	const batchSize = 16
+	var crits [][]sdg.VertexID
+	for i := 0; len(crits) < batchSize; i++ {
+		crits = append(crits, sites[i%len(sites)])
+	}
+	b.Run("sequential-oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range crits {
+				gg := sdg.MustBuild(prog)
+				if _, err := core.Specialize(gg, configsFor(c)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine-batch", func(b *testing.B) {
+		eng := engine.New(g)
+		reqs := make([]engine.Request, len(crits))
+		for i, c := range crits {
+			reqs[i] = engine.Request{Mode: engine.ModePoly, Spec: configsFor(c)}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resps, _ := eng.SliceAll(reqs, engine.BatchOptions{})
+			for _, r := range resps {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkFig13Exponential sweeps the §4.3 family; the variant count
@@ -278,13 +358,17 @@ func BenchmarkPrestar(b *testing.B) {
 }
 
 // BenchmarkSummaryEdges isolates the HRB summary-edge computation the
-// monovariant baseline depends on.
+// monovariant baseline depends on. Graph rebuild time is excluded — each
+// iteration needs a fresh graph only because the computation is a one-time
+// fixpoint per graph.
 func BenchmarkSummaryEdges(b *testing.B) {
 	cfg := benchConfig("space")
 	prog := workload.Generate(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		g := sdg.MustBuild(prog)
+		b.StartTimer()
 		slice.ComputeSummaryEdges(g)
 	}
 }

@@ -8,6 +8,7 @@
 //	experiments -quick          # Siemens-suite-sized programs only
 //	experiments -table fig19    # one table
 //	experiments -table fig13 -maxk 8
+//	experiments -json           # also write BENCH_engine.json (cold vs warm)
 package main
 
 import (
@@ -21,10 +22,29 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "fig13 | fig17 | fig18 | fig19 | fig20 | fig21 | fig22 | determinize | wc | all")
+	table := flag.String("table", "all", "fig13 | fig17 | fig18 | fig19 | fig20 | fig21 | fig22 | determinize | wc | all | none")
 	quick := flag.Bool("quick", false, "small suites only")
 	maxK := flag.Int("maxk", 7, "largest k for the fig13 exponential family")
+	jsonOut := flag.Bool("json", false, "write machine-readable engine timings to BENCH_engine.json")
+	benchIters := flag.Int("bench-iters", 20, "iterations per -json timing loop")
 	flag.Parse()
+
+	if *jsonOut {
+		eb, err := experiments.RunEngineBench(*benchIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := eb.WriteJSON("BENCH_engine.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("BENCH_engine.json: cold %.0fns/op, warm %.0fns/op (%.1fx), batch %d/%d workers %.1fx\n",
+			eb.ColdNsPerOp, eb.WarmNsPerOp, eb.WarmSpeedup, eb.BatchSize, eb.Workers, eb.BatchSpeedup)
+		if *table == "none" {
+			return
+		}
+	}
 
 	needSuites := map[string]bool{
 		"fig17": true, "fig18": true, "fig19": true,

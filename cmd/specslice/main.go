@@ -6,11 +6,18 @@
 //	specslice -mode mono  -criterion line:17 file.mc
 //	specslice -mode weiser -criterion printf file.mc
 //	specslice -mode feature -criterion stmt:main:"prod = 1" file.mc
+//	specslice -criteria "printf:main;line:17;line:23" -workers 4 file.mc
 //
 // Modes: poly (specialization slicing, the paper's Alg. 1), mono (Binkley's
 // monovariant executable slicing), weiser (Weiser-style baseline), feature
 // (paper §7 feature removal; the criterion seeds a *forward* slice that is
 // removed). The sliced program is printed to stdout.
+//
+// With -criteria, a semicolon-separated list of criteria is served as one
+// batch through the shared slicing engine (SDG, PDS encoding, and summary
+// edges built once) across -workers parallel workers; each slice is printed
+// with a "// === slice" header, and per-request failures are reported to
+// stderr without aborting the batch.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"specslice"
 )
@@ -26,6 +34,8 @@ import (
 func main() {
 	mode := flag.String("mode", "poly", "poly | mono | weiser | feature")
 	criterion := flag.String("criterion", "printf", `criterion: "printf[:proc]", "line:N", or "stmt:proc:label"`)
+	criteria := flag.String("criteria", "", `batch mode: semicolon-separated criteria served through one engine`)
+	workers := flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	check := flag.Bool("check", false, "run the reslicing self-check (poly only)")
 	stats := flag.Bool("stats", false, "print SDG and slice statistics to stderr")
 	flag.Parse()
@@ -53,6 +63,11 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "SDG: %+v\n", g.Stats())
+	}
+
+	if *criteria != "" {
+		batch(g, *mode, *criteria, *workers, *stats, *check)
+		return
 	}
 
 	crit, err := parseCriterion(g, *criterion)
@@ -90,6 +105,74 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(out.Source())
+}
+
+// batch serves every semicolon-separated criterion through the shared
+// engine and prints each slice under a header comment.
+func batch(g *specslice.SDG, mode, criteria string, workers int, stats, check bool) {
+	var bm specslice.BatchMode
+	switch mode {
+	case "poly":
+		bm = specslice.BatchPoly
+	case "mono":
+		bm = specslice.BatchMono
+	case "weiser":
+		bm = specslice.BatchWeiser
+	case "feature":
+		bm = specslice.BatchFeature
+	default:
+		fatal(fmt.Errorf("unknown mode %q", mode))
+	}
+	if check && bm != specslice.BatchPoly {
+		fatal(fmt.Errorf("-check applies to poly mode only"))
+	}
+
+	var reqs []specslice.BatchRequest
+	for _, spec := range strings.Split(criteria, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		crit, err := parseCriterion(g, spec)
+		if err != nil {
+			fatal(err)
+		}
+		reqs = append(reqs, specslice.BatchRequest{Criterion: crit, Mode: bm, Label: spec})
+	}
+	if len(reqs) == 0 {
+		fatal(fmt.Errorf("no criteria in %q", criteria))
+	}
+
+	results, bstats := g.Engine().SliceAll(reqs, specslice.BatchOptions{Workers: workers})
+	if stats {
+		fmt.Fprintf(os.Stderr, "batch: %d requests, %d failed, %d workers, wall %v, work %v\n",
+			bstats.Requests, bstats.Failed, bstats.Workers, bstats.Wall, bstats.Work)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "specslice: %s: %v\n", r.Label, r.Err)
+			continue
+		}
+		if check {
+			if err := r.Slice.SelfCheck(); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "specslice: %s: %v\n", r.Label, err)
+				continue
+			}
+		}
+		out, err := r.Slice.Program()
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "specslice: %s: %v\n", r.Label, err)
+			continue
+		}
+		fmt.Printf("// === slice %s (%v) ===\n%s", r.Label, r.Duration.Round(time.Microsecond), out.Source())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
 }
 
 func parseCriterion(g *specslice.SDG, s string) (specslice.Criterion, error) {

@@ -1,0 +1,3 @@
+module specslice
+
+go 1.24

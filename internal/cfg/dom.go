@@ -7,8 +7,8 @@ package cfg
 func Postdominators(g *Graph) []int {
 	n := len(g.Nodes)
 	// Reverse postorder of the *reversed* graph, rooted at Exit.
-	order := make([]int, 0, n)      // postorder of reverse graph
-	state := make([]int, n)         // 0 unvisited, 1 on stack, 2 done
+	order := make([]int, 0, n) // postorder of reverse graph
+	state := make([]int, n)    // 0 unvisited, 1 on stack, 2 done
 	type frame struct{ node, next int }
 	stack := []frame{{g.Exit.ID, 0}}
 	state[g.Exit.ID] = 1

@@ -108,8 +108,13 @@ func (v Vertices) buildQuery(e *Encoding) (*fsa.FSA, error) {
 
 // ReachableConfigs returns a plain FSA accepting the stack words of every
 // configuration of the unrolled SDG reachable (along dependence edges) from
-// main's entry: Poststar[P]({(p, entry_main)}).
+// main's entry: Poststar[P]({(p, entry_main)}). The result is cached on the
+// encoding; repeated calls are free.
 func ReachableConfigs(e *Encoding) (*fsa.FSA, error) {
+	return e.Reachable()
+}
+
+func computeReachableConfigs(e *Encoding) (*fsa.FSA, error) {
 	mainIdx, ok := e.G.ProcByName["main"]
 	if !ok {
 		return nil, errors.New("core: program has no main")

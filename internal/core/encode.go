@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"specslice/internal/fsa"
 	"specslice/internal/pds"
@@ -18,12 +19,36 @@ import (
 // Encoding is the PDS encoding of an SDG, with the symbol numbering shared
 // by every automaton the algorithm manipulates: SDG vertex v has symbol v,
 // call-site s has symbol NumVertices+s.
+//
+// An Encoding is immutable once built and safe for concurrent use: the
+// Prestar rule indexes and the reachable-configuration automaton are cached
+// on it, so one Encoding can serve many slice requests without repeating
+// the setup work.
 type Encoding struct {
 	G   *sdg.Graph
 	PDS *pds.PDS
 	// LocOfFO maps each formal-out vertex to its dedicated control location
 	// p_fo; control location 0 is the common location p.
 	LocOfFO map[sdg.VertexID]int
+
+	prestar *pds.PrestarEngine
+
+	reachOnce sync.Once
+	reach     *fsa.FSA
+	reachErr  error
+}
+
+// Prestar answers a pre* query through the encoding's cached rule indexes.
+func (e *Encoding) Prestar(a *fsa.FSA) *fsa.FSA { return e.prestar.Prestar(a) }
+
+// Reachable returns the cached reachable-configuration automaton
+// Poststar[P]({(p, entry_main)}), computing it on first use. Safe for
+// concurrent callers.
+func (e *Encoding) Reachable() (*fsa.FSA, error) {
+	e.reachOnce.Do(func() {
+		e.reach, e.reachErr = computeReachableConfigs(e)
+	})
+	return e.reach, e.reachErr
 }
 
 // VertexSym returns the stack symbol of an SDG vertex.
@@ -109,6 +134,7 @@ func Encode(g *sdg.Graph) *Encoding {
 		}
 	}
 	e.PDS = p
+	e.prestar = pds.NewPrestarEngine(p)
 	return e
 }
 

@@ -57,12 +57,17 @@ type Result struct {
 // such as arbitrary-stack SDGVertices — whose partition would not satisfy
 // Defn. 2.10's one-procedure-per-element property.
 func ClosureSlice(g *sdg.Graph, spec CriterionSpec) (*fsa.FSA, map[sdg.VertexID]bool, error) {
-	enc := Encode(g)
+	return ClosureSliceWithEncoding(Encode(g), spec)
+}
+
+// ClosureSliceWithEncoding is ClosureSlice against a prebuilt (typically
+// cached) encoding.
+func ClosureSliceWithEncoding(enc *Encoding, spec CriterionSpec) (*fsa.FSA, map[sdg.VertexID]bool, error) {
 	a0, err := spec.buildQuery(enc)
 	if err != nil {
 		return nil, nil, err
 	}
-	a1 := PAutomatonToFSA(enc.PDS.Prestar(a0))
+	a1 := PAutomatonToFSA(enc.Prestar(a0))
 	elems := map[sdg.VertexID]bool{}
 	for _, t := range a1.Transitions() {
 		if a1.IsStart(t.From) && !enc.IsSiteSym(t.Sym) {
@@ -73,14 +78,28 @@ func ClosureSlice(g *sdg.Graph, spec CriterionSpec) (*fsa.FSA, map[sdg.VertexID]
 }
 
 // Specialize runs the specialization-slicing algorithm (paper Alg. 1) on g
-// with the given criterion.
+// with the given criterion, building a fresh encoding. Callers issuing many
+// slice requests against one graph should Encode once and use
+// SpecializeWithEncoding (or the engine package, which manages the cache).
 func Specialize(g *sdg.Graph, spec CriterionSpec) (*Result, error) {
-	res := &Result{Source: g}
 	t0 := time.Now()
-
 	enc := Encode(g)
-	res.Enc = enc
-	res.Timings.Encode = time.Since(t0)
+	encodeTime := time.Since(t0)
+	res, err := SpecializeWithEncoding(enc, spec)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Encode = encodeTime
+	res.Timings.Total += encodeTime
+	return res, nil
+}
+
+// SpecializeWithEncoding runs Alg. 1 against a prebuilt encoding of the
+// SDG, skipping the encode phase. The encoding is read-only here, so many
+// goroutines may share one encoding concurrently.
+func SpecializeWithEncoding(enc *Encoding, spec CriterionSpec) (*Result, error) {
+	res := &Result{Source: enc.G, Enc: enc}
+	t0 := time.Now()
 
 	a0, err := spec.buildQuery(enc)
 	if err != nil {
@@ -88,7 +107,7 @@ func Specialize(g *sdg.Graph, spec CriterionSpec) (*Result, error) {
 	}
 
 	t1 := time.Now()
-	a1 := enc.PDS.Prestar(a0)
+	a1 := enc.Prestar(a0)
 	res.Timings.Prestar = time.Since(t1)
 	res.A1 = PAutomatonToFSA(a1)
 

@@ -1,0 +1,238 @@
+// Package engine turns the one-shot slicing pipeline into a reusable,
+// concurrency-safe service over a single program: the SDG encoding (PDS
+// rules + Prestar indexes), the reachable-configuration automaton, and the
+// HRB summary edges are each computed once and cached, after which any
+// number of goroutines may issue slice requests — polyvariant, monovariant,
+// Weiser, feature removal, or closure — against the shared state. SliceAll
+// fans a batch of criteria out across a worker pool and reports per-request
+// results plus aggregate timings.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"specslice/internal/core"
+	"specslice/internal/feature"
+	"specslice/internal/mono"
+	"specslice/internal/sdg"
+	"specslice/internal/slice"
+)
+
+// Engine caches the per-program analysis state shared by all slice
+// requests. Create one with New and reuse it for every query against the
+// same SDG; all methods are safe for concurrent use.
+type Engine struct {
+	g *sdg.Graph
+
+	encOnce sync.Once
+	enc     *core.Encoding
+
+	sumOnce sync.Once
+}
+
+// New returns an engine serving slice requests against g. The graph must
+// not be mutated externally afterwards.
+func New(g *sdg.Graph) *Engine { return &Engine{g: g} }
+
+// Graph returns the underlying SDG.
+func (e *Engine) Graph() *sdg.Graph { return e.g }
+
+// Encoding returns the cached PDS encoding, building it on first use. The
+// summary-edge fixpoint runs first: it is the only graph mutation, so
+// sequencing every encoding (and hence every slice request) behind it
+// freezes the graph before any reader touches it.
+func (e *Engine) Encoding() *core.Encoding {
+	e.EnsureSummaryEdges()
+	e.encOnce.Do(func() { e.enc = core.Encode(e.g) })
+	return e.enc
+}
+
+// Warm eagerly builds every cache (summary edges, encoding, reachable
+// configurations) so that subsequent requests pay only per-query costs.
+func (e *Engine) Warm() error {
+	_, err := e.Encoding().Reachable()
+	return err
+}
+
+// EnsureSummaryEdges computes the graph's HRB summary edges exactly once —
+// the engine's only graph mutation. Every request path joins this
+// sync.Once before reading the graph, which is what makes the shared
+// engine safe for concurrent use.
+func (e *Engine) EnsureSummaryEdges() {
+	e.sumOnce.Do(func() { slice.ComputeSummaryEdges(e.g) })
+}
+
+// Specialize runs the polyvariant specialization slicer (paper Alg. 1)
+// against the cached encoding.
+func (e *Engine) Specialize(spec core.CriterionSpec) (*core.Result, error) {
+	return core.SpecializeWithEncoding(e.Encoding(), spec)
+}
+
+// ClosureSlice computes the PDS-based stack-configuration closure slice.
+func (e *Engine) ClosureSlice(spec core.CriterionSpec) (map[sdg.VertexID]bool, error) {
+	_, elems, err := core.ClosureSliceWithEncoding(e.Encoding(), spec)
+	return elems, err
+}
+
+// Backward computes the HRB two-phase backward closure slice.
+func (e *Engine) Backward(criterion []sdg.VertexID) slice.VSet {
+	e.EnsureSummaryEdges()
+	return slice.Backward(e.g, criterion)
+}
+
+// Binkley computes the monovariant executable slice baseline.
+func (e *Engine) Binkley(criterion []sdg.VertexID) *mono.Result {
+	e.EnsureSummaryEdges()
+	return mono.Binkley(e.g, criterion)
+}
+
+// Weiser computes the Weiser-style executable slice baseline.
+func (e *Engine) Weiser(criterion []sdg.VertexID) *mono.Result {
+	e.EnsureSummaryEdges()
+	return mono.Weiser(e.g, criterion)
+}
+
+// RemoveFeature computes the paper's §7 feature removal.
+func (e *Engine) RemoveFeature(criterion []sdg.VertexID) (*core.Result, error) {
+	return feature.RemoveWithEncoding(e.g, e.Encoding(), criterion)
+}
+
+// Mode selects the slicer a batch request runs.
+type Mode int
+
+const (
+	ModePoly Mode = iota
+	ModeMono
+	ModeWeiser
+	ModeFeature
+)
+
+var modeNames = [...]string{"poly", "mono", "weiser", "feature"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Request is one criterion in a batch.
+type Request struct {
+	// Label identifies the request in results (free-form).
+	Label string
+	Mode  Mode
+	// Spec drives ModePoly requests.
+	Spec core.CriterionSpec
+	// Vertices drives ModeMono/ModeWeiser/ModeFeature requests.
+	Vertices []sdg.VertexID
+	// Err, when non-nil, short-circuits the request: criterion resolution
+	// failed upstream and the error is reported in the matching Response.
+	Err error
+}
+
+// Response is the outcome of one batch request.
+type Response struct {
+	Index    int
+	Label    string
+	Mode     Mode
+	Poly     *core.Result // ModePoly and ModeFeature results
+	Mono     *mono.Result // ModeMono and ModeWeiser results
+	Err      error
+	Duration time.Duration
+}
+
+// BatchOptions configures SliceAll.
+type BatchOptions struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// BatchStats aggregates a SliceAll run.
+type BatchStats struct {
+	Requests int
+	Failed   int
+	Workers  int
+	// Wall is the end-to-end batch time; Work is the sum of per-request
+	// durations (Work/Wall ≈ achieved parallelism).
+	Wall time.Duration
+	Work time.Duration
+}
+
+// SliceAll serves every request, fanning them out across a worker pool, and
+// returns responses in request order plus aggregate timings. Individual
+// request failures land in their Response; the batch always completes.
+func (e *Engine) SliceAll(reqs []Request, opts BatchOptions) ([]Response, BatchStats) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	stats := BatchStats{Requests: len(reqs), Workers: workers}
+	if len(reqs) == 0 {
+		return nil, stats
+	}
+
+	// Pay the shared setup (summary edges, then encoding) once, outside
+	// the pool, so worker timings are pure per-request cost.
+	e.Encoding()
+
+	t0 := time.Now()
+	out := make([]Response, len(reqs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.serve(i, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	stats.Wall = time.Since(t0)
+	for _, r := range out {
+		stats.Work += r.Duration
+		if r.Err != nil {
+			stats.Failed++
+		}
+	}
+	return out, stats
+}
+
+func (e *Engine) serve(i int, req Request) (resp Response) {
+	resp = Response{Index: i, Label: req.Label, Mode: req.Mode}
+	t0 := time.Now()
+	defer func() { resp.Duration = time.Since(t0) }()
+	if req.Err != nil {
+		resp.Err = req.Err
+		return resp
+	}
+	switch req.Mode {
+	case ModePoly:
+		if req.Spec == nil {
+			resp.Err = fmt.Errorf("engine: poly request %d has no criterion spec", i)
+			return resp
+		}
+		resp.Poly, resp.Err = e.Specialize(req.Spec)
+	case ModeMono:
+		resp.Mono = e.Binkley(req.Vertices)
+	case ModeWeiser:
+		resp.Mono = e.Weiser(req.Vertices)
+	case ModeFeature:
+		resp.Poly, resp.Err = e.RemoveFeature(req.Vertices)
+	default:
+		resp.Err = fmt.Errorf("engine: unknown mode %v", req.Mode)
+	}
+	return resp
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"specslice/internal/core"
+	"specslice/internal/engine"
+	"specslice/internal/sdg"
+	"specslice/internal/workload"
+)
+
+// EngineBench is the machine-readable engine-amortization measurement
+// written by `experiments -json`: cold (one-shot, rebuild everything) vs.
+// warm (engine-cached) polyvariant slices on the Fig. 14 workload, and
+// sequential one-shot vs. batch SliceAll over many criteria on a Siemens
+// suite. Future PRs track the perf trajectory through these numbers.
+type EngineBench struct {
+	GeneratedAt  string  `json:"generated_at,omitempty"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Iterations   int     `json:"iterations"`
+	ColdNsPerOp  float64 `json:"cold_ns_per_op"`
+	WarmNsPerOp  float64 `json:"warm_ns_per_op"`
+	WarmSpeedup  float64 `json:"warm_speedup"`
+	BatchSuite   string  `json:"batch_suite"`
+	BatchSize    int     `json:"batch_size"`
+	SeqNs        int64   `json:"batch_sequential_ns"`
+	BatchNs      int64   `json:"batch_parallel_ns"`
+	BatchSpeedup float64 `json:"batch_speedup"`
+	Workers      int     `json:"batch_workers"`
+}
+
+func specOf(vs []sdg.VertexID) core.Configs {
+	out := make(core.Configs, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, core.Config{Vertex: v})
+	}
+	return out
+}
+
+// RunEngineBench measures cold vs. warm slicing and sequential vs. batch
+// throughput, with iters iterations per timed loop.
+func RunEngineBench(iters int) (*EngineBench, error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	eb := &EngineBench{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Iterations:  iters,
+	}
+
+	// Cold: the one-shot pipeline rebuilds the SDG and its encoding for
+	// every request (the paper's Fig. 14 running example).
+	prog := workload.Fig1Program()
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		g := sdg.MustBuild(prog)
+		crit := specOf(core.PrintfCriterion(g, "main"))
+		if _, err := core.Specialize(g, crit); err != nil {
+			return nil, err
+		}
+	}
+	eb.ColdNsPerOp = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+
+	// Warm: one engine serves every request from its caches.
+	g := sdg.MustBuild(prog)
+	eng := engine.New(g)
+	if err := eng.Warm(); err != nil {
+		return nil, err
+	}
+	crit := specOf(core.PrintfCriterion(g, "main"))
+	if _, err := eng.Specialize(crit); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := eng.Specialize(crit); err != nil {
+			return nil, err
+		}
+	}
+	eb.WarmNsPerOp = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+	if eb.WarmNsPerOp > 0 {
+		eb.WarmSpeedup = eb.ColdNsPerOp / eb.WarmNsPerOp
+	}
+
+	// Batch: ≥16 criteria over one Siemens-sized suite, sequential one-shot
+	// vs. SliceAll through the shared engine.
+	cfg := workload.SmallBenchmarks()[0]
+	eb.BatchSuite = cfg.Name
+	bprog := workload.Generate(cfg)
+	bg := sdg.MustBuild(bprog)
+	var seeds [][]sdg.VertexID
+	for _, s := range bg.Sites {
+		if s.Lib && s.Callee == "printf" && len(s.ActualIns) > 0 &&
+			bg.Procs[s.CallerProc].Name == "main" {
+			seeds = append(seeds, s.ActualIns)
+		}
+	}
+	const batchSize = 16
+	var crits [][]sdg.VertexID
+	for i := 0; len(crits) < batchSize; i++ {
+		crits = append(crits, seeds[i%len(seeds)])
+	}
+	eb.BatchSize = len(crits)
+
+	t0 = time.Now()
+	for _, c := range crits {
+		gg := sdg.MustBuild(bprog)
+		if _, err := core.Specialize(gg, specOf(c)); err != nil {
+			return nil, err
+		}
+	}
+	eb.SeqNs = time.Since(t0).Nanoseconds()
+
+	beng := engine.New(bg)
+	reqs := make([]engine.Request, len(crits))
+	for i, c := range crits {
+		reqs[i] = engine.Request{Mode: engine.ModePoly, Spec: specOf(c)}
+	}
+	t0 = time.Now()
+	resps, stats := beng.SliceAll(reqs, engine.BatchOptions{})
+	eb.BatchNs = time.Since(t0).Nanoseconds()
+	eb.Workers = stats.Workers
+	for _, r := range resps {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+	if eb.BatchNs > 0 {
+		eb.BatchSpeedup = float64(eb.SeqNs) / float64(eb.BatchNs)
+	}
+	return eb, nil
+}
+
+// WriteJSON writes the measurement to path (e.g. BENCH_engine.json).
+func (eb *EngineBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(eb, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -53,10 +53,10 @@ type SliceResult struct {
 
 // ProcPoint is one Fig.-20 scatter point.
 type ProcPoint struct {
-	Proc     string
-	PolyPct  float64
-	MonoPct  float64
-	IsExtra  bool // an extra copy beyond the first
+	Proc    string
+	PolyPct float64
+	MonoPct float64
+	IsExtra bool // an extra copy beyond the first
 }
 
 // SuiteResult holds one benchmark suite's measurements.

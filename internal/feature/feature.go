@@ -21,10 +21,15 @@ import (
 // Remove computes the feature-removal slice of g: the program minus the
 // forward stack-configuration slice from the criterion vertices.
 func Remove(g *sdg.Graph, criterion []sdg.VertexID) (*core.Result, error) {
+	return RemoveWithEncoding(g, core.Encode(g), criterion)
+}
+
+// RemoveWithEncoding is Remove against a prebuilt (typically cached)
+// encoding of g.
+func RemoveWithEncoding(g *sdg.Graph, enc *core.Encoding, criterion []sdg.VertexID) (*core.Result, error) {
 	if len(criterion) == 0 {
 		return nil, errors.New("feature: empty criterion")
 	}
-	enc := core.Encode(g)
 
 	// A0 = Poststar(criterion configurations, in every calling context).
 	q := fsa.New(enc.PDS.NumLocs)

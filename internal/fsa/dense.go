@@ -1,0 +1,130 @@
+package fsa
+
+import "math/bits"
+
+// bitset is a dense set of small non-negative ints (state indices).
+type bitset []uint64
+
+func (b bitset) get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitset) set(i int) {
+	w := i >> 6
+	for w >= len(*b) {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// members returns the set bits in ascending order.
+func (b bitset) members() []int {
+	out := make([]int, 0, b.count())
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			out = append(out, wi<<6+i)
+			w &^= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func (b bitset) clone() bitset {
+	if b == nil {
+		return nil
+	}
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Transition packing: 21 bits each for from, sym+1, and to (63 bits total),
+// so every packed key fits a uint64 with room for the +1 empty-slot bias.
+const packBits = 21
+const packMax = 1 << packBits
+
+func packTrans(t Transition) (uint64, bool) {
+	s := int(t.Sym) + 1 // Epsilon (-1) becomes 0
+	if t.From < 0 || t.From >= packMax || t.To < 0 || t.To >= packMax || s < 0 || s >= packMax {
+		return 0, false
+	}
+	return uint64(t.From)<<(2*packBits) | uint64(s)<<packBits | uint64(t.To), true
+}
+
+// transSet is the transition-dedup index: an open-addressing hash set over
+// packed (from, sym, to) keys, with a map fallback for automata too large to
+// pack (>2M states or symbols).
+type transSet struct {
+	slots []uint64 // packed key + 1; 0 means empty
+	n     int
+	wide  map[Transition]bool // only allocated on pack overflow
+}
+
+func (s *transSet) probe(key uint64) int {
+	mask := uint64(len(s.slots) - 1)
+	i := (key * 0x9E3779B97F4A7C15) >> 32 & mask
+	for s.slots[i] != 0 && s.slots[i] != key+1 {
+		i = (i + 1) & mask
+	}
+	return int(i)
+}
+
+func (s *transSet) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	for _, v := range old {
+		if v != 0 {
+			s.slots[s.probe(v-1)] = v
+		}
+	}
+}
+
+// add inserts t, reporting whether it was new.
+func (s *transSet) add(t Transition) bool {
+	key, ok := packTrans(t)
+	if !ok {
+		if s.wide == nil {
+			s.wide = map[Transition]bool{}
+		}
+		if s.wide[t] {
+			return false
+		}
+		s.wide[t] = true
+		s.n++
+		return true
+	}
+	if s.slots == nil {
+		s.slots = make([]uint64, 64)
+	}
+	i := s.probe(key)
+	if s.slots[i] != 0 {
+		return false
+	}
+	s.slots[i] = key + 1
+	s.n++
+	if 4*(s.n-len(s.wide)) >= 3*len(s.slots) {
+		s.grow()
+	}
+	return true
+}
+
+func (s *transSet) has(t Transition) bool {
+	key, ok := packTrans(t)
+	if !ok {
+		return s.wide[t]
+	}
+	if s.slots == nil {
+		return false
+	}
+	return s.slots[s.probe(key)] != 0
+}

@@ -5,6 +5,10 @@
 // specialization-slicing algorithm composes (paper Alg. 1, lines 4–8, and
 // the §7/§8.3 extensions). It plays the role OpenFST plays in the paper's
 // implementation.
+//
+// The hot-path representations are dense: start/final sets are bitsets and
+// transition dedup goes through an open-addressing hash index keyed on
+// packed (from, sym, to) ints rather than a Go map of structs.
 package fsa
 
 import (
@@ -31,21 +35,18 @@ type Transition struct {
 // nondeterministic, possibly with epsilon transitions.
 type FSA struct {
 	numStates int
-	starts    map[int]bool
-	finals    map[int]bool
+	starts    bitset
+	finals    bitset
 	out       [][]Transition
-	// present tracks which (from, sym, to) exist, to deduplicate.
-	present map[Transition]bool
+	// index deduplicates (from, sym, to) triples.
+	index transSet
 }
 
 // New returns an automaton with n states and no transitions.
 func New(n int) *FSA {
 	return &FSA{
 		numStates: n,
-		starts:    map[int]bool{},
-		finals:    map[int]bool{},
 		out:       make([][]Transition, n),
-		present:   map[Transition]bool{},
 	}
 }
 
@@ -60,22 +61,28 @@ func (a *FSA) AddState() int {
 }
 
 // SetStart marks s as a start state.
-func (a *FSA) SetStart(s int) { a.starts[s] = true }
+func (a *FSA) SetStart(s int) { a.starts.set(s) }
 
 // SetFinal marks s as accepting.
-func (a *FSA) SetFinal(s int) { a.finals[s] = true }
+func (a *FSA) SetFinal(s int) { a.finals.set(s) }
 
 // IsStart reports whether s is a start state.
-func (a *FSA) IsStart(s int) bool { return a.starts[s] }
+func (a *FSA) IsStart(s int) bool { return a.starts.get(s) }
 
 // IsFinal reports whether s accepts.
-func (a *FSA) IsFinal(s int) bool { return a.finals[s] }
+func (a *FSA) IsFinal(s int) bool { return a.finals.get(s) }
 
 // Starts returns the start states, sorted.
-func (a *FSA) Starts() []int { return sortedKeys(a.starts) }
+func (a *FSA) Starts() []int { return a.starts.members() }
 
 // Finals returns the accepting states, sorted.
-func (a *FSA) Finals() []int { return sortedKeys(a.finals) }
+func (a *FSA) Finals() []int { return a.finals.members() }
+
+// NumStarts returns the start-state count.
+func (a *FSA) NumStarts() int { return a.starts.count() }
+
+// NumFinals returns the accepting-state count.
+func (a *FSA) NumFinals() int { return a.finals.count() }
 
 func sortedKeys(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
@@ -90,28 +97,34 @@ func sortedKeys(m map[int]bool) []int {
 // transition was new.
 func (a *FSA) Add(from int, sym Symbol, to int) bool {
 	t := Transition{from, sym, to}
-	if a.present[t] {
+	if !a.index.add(t) {
 		return false
 	}
-	a.present[t] = true
 	a.out[from] = append(a.out[from], t)
 	return true
 }
 
 // Has reports whether the transition exists.
 func (a *FSA) Has(from int, sym Symbol, to int) bool {
-	return a.present[Transition{from, sym, to}]
+	return a.index.has(Transition{from, sym, to})
 }
 
 // Out returns the transitions leaving s.
 func (a *FSA) Out(s int) []Transition { return a.out[s] }
 
+// each visits every transition in insertion order per state.
+func (a *FSA) each(f func(Transition)) {
+	for _, ts := range a.out {
+		for _, t := range ts {
+			f(t)
+		}
+	}
+}
+
 // Transitions returns every transition, ordered by (from, sym, to).
 func (a *FSA) Transitions() []Transition {
-	var out []Transition
-	for _, ts := range a.out {
-		out = append(out, ts...)
-	}
+	out := make([]Transition, 0, a.index.n)
+	a.each(func(t Transition) { out = append(out, t) })
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
 			return out[i].From < out[j].From
@@ -125,16 +138,16 @@ func (a *FSA) Transitions() []Transition {
 }
 
 // NumTransitions returns the transition count.
-func (a *FSA) NumTransitions() int { return len(a.present) }
+func (a *FSA) NumTransitions() int { return a.index.n }
 
 // Alphabet returns the non-epsilon symbols appearing on transitions, sorted.
 func (a *FSA) Alphabet() []Symbol {
 	set := map[Symbol]bool{}
-	for t := range a.present {
+	a.each(func(t Transition) {
 		if t.Sym != Epsilon {
 			set[t.Sym] = true
 		}
-	}
+	})
 	out := make([]Symbol, 0, len(set))
 	for s := range set {
 		out = append(out, s)
@@ -164,10 +177,7 @@ func (a *FSA) epsClosure(set map[int]bool) map[int]bool {
 
 // Accepts reports whether the automaton accepts the word.
 func (a *FSA) Accepts(word []Symbol) bool {
-	cur := map[int]bool{}
-	for s := range a.starts {
-		cur[s] = true
-	}
+	cur := boolSet(a.Starts())
 	cur = a.epsClosure(cur)
 	for _, sym := range word {
 		next := map[int]bool{}
@@ -184,7 +194,7 @@ func (a *FSA) Accepts(word []Symbol) bool {
 		}
 	}
 	for s := range cur {
-		if a.finals[s] {
+		if a.IsFinal(s) {
 			return true
 		}
 	}
@@ -211,7 +221,7 @@ func (a *FSA) AcceptsFrom(state int, word []Symbol) bool {
 		}
 	}
 	for s := range cur {
-		if a.finals[s] {
+		if a.IsFinal(s) {
 			return true
 		}
 	}
@@ -222,15 +232,9 @@ func (a *FSA) AcceptsFrom(state int, word []Symbol) bool {
 // is flipped and start/final sets swap.
 func (a *FSA) Reverse() *FSA {
 	r := New(a.numStates)
-	for t := range a.present {
-		r.Add(t.To, t.Sym, t.From)
-	}
-	for s := range a.finals {
-		r.SetStart(s)
-	}
-	for s := range a.starts {
-		r.SetFinal(s)
-	}
+	a.each(func(t Transition) { r.Add(t.To, t.Sym, t.From) })
+	r.starts = a.finals.clone()
+	r.finals = a.starts.clone()
 	return r
 }
 
@@ -240,7 +244,7 @@ func (a *FSA) RemoveEpsilon() *FSA {
 	for s := 0; s < a.numStates; s++ {
 		cl := a.epsClosure(map[int]bool{s: true})
 		for c := range cl {
-			if a.finals[c] {
+			if a.IsFinal(c) {
 				r.SetFinal(s)
 			}
 			for _, t := range a.out[c] {
@@ -250,9 +254,7 @@ func (a *FSA) RemoveEpsilon() *FSA {
 			}
 		}
 	}
-	for s := range a.starts {
-		r.SetStart(s)
-	}
+	r.starts = a.starts.clone()
 	return r.Trim()
 }
 
@@ -320,7 +322,7 @@ func boolSet(xs []int) map[int]bool {
 
 func anyFinal(a *FSA, set map[int]bool) bool {
 	for s := range set {
-		if a.finals[s] {
+		if a.IsFinal(s) {
 			return true
 		}
 	}
@@ -339,7 +341,7 @@ func setKey(set map[int]bool) string {
 // IsDeterministic reports whether the automaton has a single start state,
 // no epsilon transitions, and at most one transition per (state, symbol).
 func (a *FSA) IsDeterministic() bool {
-	if len(a.starts) != 1 {
+	if a.starts.count() != 1 {
 		return false
 	}
 	for s := 0; s < a.numStates; s++ {
@@ -363,57 +365,64 @@ func (a *FSA) IsReverseDeterministic() bool {
 // Trim removes states that are not both reachable from a start state and
 // able to reach a final state, remapping state indices.
 func (a *FSA) Trim() *FSA {
-	reach := boolSet(a.Starts())
+	reach := make(bitset, (a.numStates+63)/64)
 	work := a.Starts()
+	for _, s := range work {
+		reach.set(s)
+	}
 	for len(work) > 0 {
 		s := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, t := range a.out[s] {
-			if !reach[t.To] {
-				reach[t.To] = true
+			if !reach.get(t.To) {
+				reach.set(t.To)
 				work = append(work, t.To)
 			}
 		}
 	}
 	// Co-reachable: backward from finals.
 	back := make([][]int, a.numStates)
-	for t := range a.present {
-		back[t.To] = append(back[t.To], t.From)
-	}
-	co := boolSet(a.Finals())
+	a.each(func(t Transition) { back[t.To] = append(back[t.To], t.From) })
+	co := make(bitset, (a.numStates+63)/64)
 	work = a.Finals()
+	for _, s := range work {
+		co.set(s)
+	}
 	for len(work) > 0 {
 		s := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, p := range back[s] {
-			if !co[p] {
-				co[p] = true
+			if !co.get(p) {
+				co.set(p)
 				work = append(work, p)
 			}
 		}
 	}
-	keep := map[int]int{}
+	keep := make([]int, a.numStates)
+	n := 0
 	for s := 0; s < a.numStates; s++ {
-		if reach[s] && co[s] {
-			keep[s] = len(keep)
+		if reach.get(s) && co.get(s) {
+			keep[s] = n
+			n++
+		} else {
+			keep[s] = -1
 		}
 	}
-	r := New(len(keep))
-	for t := range a.present {
-		f, ok1 := keep[t.From]
-		g, ok2 := keep[t.To]
-		if ok1 && ok2 {
+	r := New(n)
+	a.each(func(t Transition) {
+		f, g := keep[t.From], keep[t.To]
+		if f >= 0 && g >= 0 {
 			r.Add(f, t.Sym, g)
 		}
-	}
-	for s := range a.starts {
-		if n, ok := keep[s]; ok {
-			r.SetStart(n)
+	})
+	for _, s := range a.Starts() {
+		if keep[s] >= 0 {
+			r.SetStart(keep[s])
 		}
 	}
-	for s := range a.finals {
-		if n, ok := keep[s]; ok {
-			r.SetFinal(n)
+	for _, s := range a.Finals() {
+		if keep[s] >= 0 {
+			r.SetFinal(keep[s])
 		}
 	}
 	return r
@@ -422,14 +431,14 @@ func (a *FSA) Trim() *FSA {
 // IsEmpty reports whether the language is empty.
 func (a *FSA) IsEmpty() bool {
 	t := a.Trim()
-	return len(t.finals) == 0 || len(t.starts) == 0
+	return t.finals.count() == 0 || t.starts.count() == 0
 }
 
 // Relabel applies a symbol mapping (a one-state transducer), merging any
 // symbols that map to the same image. Symbols not in the map are kept.
 func (a *FSA) Relabel(m map[Symbol]Symbol) *FSA {
 	r := New(a.numStates)
-	for t := range a.present {
+	a.each(func(t Transition) {
 		sym := t.Sym
 		if sym != Epsilon {
 			if to, ok := m[sym]; ok {
@@ -437,13 +446,9 @@ func (a *FSA) Relabel(m map[Symbol]Symbol) *FSA {
 			}
 		}
 		r.Add(t.From, sym, t.To)
-	}
-	for s := range a.starts {
-		r.SetStart(s)
-	}
-	for s := range a.finals {
-		r.SetFinal(s)
-	}
+	})
+	r.starts = a.starts.clone()
+	r.finals = a.finals.clone()
 	return r
 }
 
@@ -456,36 +461,26 @@ func (a *FSA) InverseRelabel(m map[Symbol]Symbol) *FSA {
 		pre[to] = append(pre[to], from)
 	}
 	r := New(a.numStates)
-	for t := range a.present {
+	a.each(func(t Transition) {
 		if t.Sym == Epsilon {
 			r.Add(t.From, Epsilon, t.To)
-			continue
+			return
 		}
 		for _, s := range pre[t.Sym] {
 			r.Add(t.From, s, t.To)
 		}
-	}
-	for s := range a.starts {
-		r.SetStart(s)
-	}
-	for s := range a.finals {
-		r.SetFinal(s)
-	}
+	})
+	r.starts = a.starts.clone()
+	r.finals = a.finals.clone()
 	return r
 }
 
 // Clone deep-copies the automaton.
 func (a *FSA) Clone() *FSA {
 	r := New(a.numStates)
-	for t := range a.present {
-		r.Add(t.From, t.Sym, t.To)
-	}
-	for s := range a.starts {
-		r.SetStart(s)
-	}
-	for s := range a.finals {
-		r.SetFinal(s)
-	}
+	a.each(func(t Transition) { r.Add(t.From, t.Sym, t.To) })
+	r.starts = a.starts.clone()
+	r.finals = a.finals.clone()
 	return r
 }
 

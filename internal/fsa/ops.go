@@ -54,7 +54,7 @@ func hopcroft(d *FSA) *FSA {
 	var blocks [][]int
 	var finals, nonfinals []int
 	for s := 0; s < n; s++ {
-		if d.finals[s] {
+		if d.IsFinal(s) {
 			finals = append(finals, s)
 		} else {
 			nonfinals = append(nonfinals, s)
@@ -165,7 +165,7 @@ func hopcroft(d *FSA) *FSA {
 	if sb, ok := remap[part[start]]; ok {
 		m.SetStart(sb)
 	}
-	for f := range d.finals {
+	for _, f := range d.Finals() {
 		if fb, ok := remap[part[f]]; ok {
 			m.SetFinal(fb)
 		}
@@ -199,7 +199,7 @@ func (a *FSA) MinimizeMoore() *FSA {
 	succ[dead] = map[Symbol]int{}
 	cls := make([]int, total)
 	for s := 0; s < n; s++ {
-		if d.finals[s] {
+		if d.IsFinal(s) {
 			cls[s] = 1
 		}
 	}
@@ -265,7 +265,7 @@ func (a *FSA) MinimizeMoore() *FSA {
 	if sb, ok := remap[cls[d.Starts()[0]]]; ok {
 		m.SetStart(sb)
 	}
-	for f := range d.finals {
+	for _, f := range d.Finals() {
 		if fb, ok := remap[cls[f]]; ok {
 			m.SetFinal(fb)
 		}
@@ -300,7 +300,7 @@ func Intersect(a, b *FSA) *FSA {
 		}
 		i := r.AddState()
 		index[p] = i
-		if a.finals[p.x] && b.finals[p.y] {
+		if a.IsFinal(p.x) && b.IsFinal(p.y) {
 			r.SetFinal(i)
 		}
 		work = append(work, p)
@@ -330,22 +330,18 @@ func Intersect(a, b *FSA) *FSA {
 func Union(a, b *FSA) *FSA {
 	r := New(a.numStates + b.numStates)
 	off := a.numStates
-	for t := range a.present {
-		r.Add(t.From, t.Sym, t.To)
-	}
-	for t := range b.present {
-		r.Add(t.From+off, t.Sym, t.To+off)
-	}
-	for s := range a.starts {
+	a.each(func(t Transition) { r.Add(t.From, t.Sym, t.To) })
+	b.each(func(t Transition) { r.Add(t.From+off, t.Sym, t.To+off) })
+	for _, s := range a.Starts() {
 		r.SetStart(s)
 	}
-	for s := range b.starts {
+	for _, s := range b.Starts() {
 		r.SetStart(s + off)
 	}
-	for s := range a.finals {
+	for _, s := range a.Finals() {
 		r.SetFinal(s)
 	}
-	for s := range b.finals {
+	for _, s := range b.Finals() {
 		r.SetFinal(s + off)
 	}
 	return r
@@ -374,14 +370,12 @@ func (a *FSA) Complement(alphabet []Symbol) *FSA {
 	}
 	// Flip accepting states.
 	r := New(c.numStates)
-	for t := range c.present {
-		r.Add(t.From, t.Sym, t.To)
-	}
-	for s := range c.starts {
+	c.each(func(t Transition) { r.Add(t.From, t.Sym, t.To) })
+	for _, s := range c.Starts() {
 		r.SetStart(s)
 	}
 	for s := 0; s < c.numStates; s++ {
-		if !c.finals[s] {
+		if !c.IsFinal(s) {
 			r.SetFinal(s)
 		}
 	}
@@ -392,7 +386,7 @@ func (a *FSA) Complement(alphabet []Symbol) *FSA {
 func Equal(a, b *FSA) bool {
 	ma := a.Minimize()
 	mb := b.Minimize()
-	if ma.numStates != mb.numStates || len(ma.finals) != len(mb.finals) || ma.NumTransitions() != mb.NumTransitions() {
+	if ma.numStates != mb.numStates || ma.finals.count() != mb.finals.count() || ma.NumTransitions() != mb.NumTransitions() {
 		return false
 	}
 	if ma.numStates == 0 {
@@ -405,7 +399,7 @@ func Equal(a, b *FSA) bool {
 		x := work[len(work)-1]
 		work = work[:len(work)-1]
 		y := mapping[x]
-		if ma.finals[x] != mb.finals[y] {
+		if ma.IsFinal(x) != mb.IsFinal(y) {
 			return false
 		}
 		bt := map[Symbol]int{}
@@ -448,7 +442,7 @@ func (a *FSA) EnumerateWords(maxLen, maxCount int) [][]Symbol {
 		queue = queue[1:]
 		final := false
 		for _, s := range it.states {
-			if e.finals[s] {
+			if e.IsFinal(s) {
 				final = true
 			}
 		}

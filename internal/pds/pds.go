@@ -11,6 +11,7 @@ package pds
 
 import (
 	"fmt"
+	"sync"
 
 	"specslice/internal/fsa"
 )
@@ -51,42 +52,96 @@ type locSym struct {
 // Prestar saturates a copy of the query automaton a so that it accepts
 // pre*(L(a)): every configuration from which some configuration in L(a) is
 // reachable. a's states 0..NumLocs-1 must be the control locations.
+//
+// One-shot convenience; repeated queries over the same PDS should build a
+// PrestarEngine once and reuse it.
 func (p *PDS) Prestar(a *fsa.FSA) *fsa.FSA {
-	res := a.Clone()
-	for res.NumStates() < p.NumLocs {
-		res.AddState()
-	}
+	return NewPrestarEngine(p).Prestar(a)
+}
 
-	// Index static rules.
-	internal := map[locSym][]Rule{} // RHS <q, γ>
-	push := map[locSym][]Rule{}     // RHS <q, γ γ₂>, indexed by (q, γ)
-	var pops []Rule
+// dyn is a dynamic pseudo-internal rule Δ′: <p₁,γ₁> → <q′,γ₂>.
+type dyn struct {
+	p1 int
+	g1 fsa.Symbol
+}
+
+// PrestarEngine answers repeated Prestar queries over one fixed PDS: the
+// static rule indexes are built once at construction, and each run draws
+// its worklist state (worklist, rel index, Δ′ rules) from a reusable arena
+// pool. A single engine is safe for concurrent use.
+type PrestarEngine struct {
+	p        *PDS
+	internal map[locSym][]Rule // internal rules indexed by RHS <q, γ>
+	push     map[locSym][]Rule // push rules indexed by RHS head <q, γ>
+	pops     []Rule
+	arenas   sync.Pool
+}
+
+// prestarArena holds the per-run mutable state, reused across runs to keep
+// map buckets and worklist capacity warm.
+type prestarArena struct {
+	work     []fsa.Transition
+	relSeen  map[fsa.Transition]bool
+	relBySrc map[locSym][]int
+	dynRules map[locSym][]dyn
+	dynSeen  map[[4]int]bool
+}
+
+func (a *prestarArena) reset() {
+	a.work = a.work[:0]
+	clear(a.relSeen)
+	clear(a.relBySrc)
+	clear(a.dynRules)
+	clear(a.dynSeen)
+}
+
+// NewPrestarEngine indexes the rules of p for repeated Prestar queries.
+func NewPrestarEngine(p *PDS) *PrestarEngine {
+	e := &PrestarEngine{
+		p:        p,
+		internal: map[locSym][]Rule{},
+		push:     map[locSym][]Rule{},
+	}
 	for _, r := range p.Rules {
 		switch len(r.W) {
 		case 0:
-			pops = append(pops, r)
+			e.pops = append(e.pops, r)
 		case 1:
 			k := locSym{r.P2, r.W[0]}
-			internal[k] = append(internal[k], r)
+			e.internal[k] = append(e.internal[k], r)
 		case 2:
 			k := locSym{r.P2, r.W[0]}
-			push[k] = append(push[k], r)
+			e.push[k] = append(e.push[k], r)
 		}
 	}
-
-	// Dynamic pseudo-internal rules Δ′: <p₁,γ₁> → <q′,γ₂>, indexed by (q′,γ₂).
-	type dyn struct {
-		p1 int
-		g1 fsa.Symbol
+	e.arenas.New = func() any {
+		return &prestarArena{
+			relSeen:  map[fsa.Transition]bool{},
+			relBySrc: map[locSym][]int{},
+			dynRules: map[locSym][]dyn{},
+			dynSeen:  map[[4]int]bool{},
+		}
 	}
-	dynRules := map[locSym][]dyn{}
-	dynSeen := map[[4]int]bool{}
+	return e
+}
 
-	// rel: transitions confirmed in the result, indexed by (from, sym).
-	relBySrc := map[locSym][]int{}
-	relSeen := map[fsa.Transition]bool{}
+// Prestar runs the saturation against query automaton a, returning a fresh
+// result automaton.
+func (e *PrestarEngine) Prestar(a *fsa.FSA) *fsa.FSA {
+	res := a.Clone()
+	for res.NumStates() < e.p.NumLocs {
+		res.AddState()
+	}
 
-	var work []fsa.Transition
+	ar := e.arenas.Get().(*prestarArena)
+	defer func() {
+		ar.reset()
+		e.arenas.Put(ar)
+	}()
+	relSeen, relBySrc := ar.relSeen, ar.relBySrc
+	dynRules, dynSeen := ar.dynRules, ar.dynSeen
+	work := ar.work
+
 	pushT := func(t fsa.Transition) {
 		if !relSeen[t] {
 			work = append(work, t)
@@ -95,7 +150,7 @@ func (p *PDS) Prestar(a *fsa.FSA) *fsa.FSA {
 	for _, t := range a.Transitions() {
 		pushT(t)
 	}
-	for _, r := range pops {
+	for _, r := range e.pops {
 		pushT(fsa.Transition{From: r.P, Sym: r.G, To: r.P2})
 	}
 
@@ -110,13 +165,13 @@ func (p *PDS) Prestar(a *fsa.FSA) *fsa.FSA {
 		k := locSym{t.From, t.Sym}
 		relBySrc[k] = append(relBySrc[k], t.To)
 
-		for _, r := range internal[k] {
+		for _, r := range e.internal[k] {
 			pushT(fsa.Transition{From: r.P, Sym: r.G, To: t.To})
 		}
 		for _, d := range dynRules[k] {
 			pushT(fsa.Transition{From: d.p1, Sym: d.g1, To: t.To})
 		}
-		for _, r := range push[k] {
+		for _, r := range e.push[k] {
 			// Register Δ′ rule <r.P, r.G> → <t.To, r.W[1]>.
 			key := [4]int{r.P, int(r.G), t.To, int(r.W[1])}
 			if !dynSeen[key] {
@@ -129,6 +184,7 @@ func (p *PDS) Prestar(a *fsa.FSA) *fsa.FSA {
 			}
 		}
 	}
+	ar.work = work
 	return res
 }
 

@@ -223,7 +223,7 @@ func TestPrePostDuality(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	for iter := 0; iter < 60; iter++ {
 		p := randomPDS(rng)
-		c1 := config{rng.Intn(p.NumLocs), string(byte(1 + rng.Intn(2))) + string(byte(1+rng.Intn(2)))}
+		c1 := config{rng.Intn(p.NumLocs), string(byte(1+rng.Intn(2))) + string(byte(1+rng.Intn(2)))}
 		c2 := config{rng.Intn(p.NumLocs), string(byte(1 + rng.Intn(2)))}
 		pre := p.Prestar(queryFor(p, []config{c2}))
 		post := p.Poststar(queryFor(p, []config{c1}))

@@ -127,7 +127,22 @@ type Graph struct {
 
 	out [][]Edge
 	in  [][]Edge
+	// edgeSet is the O(1) dedup/membership index over all edges, keyed on
+	// the packed (from, kind, to) int. It is nil until the first AddEdge
+	// call.
+	edgeSet map[uint64]struct{}
+	// summariesDone records that the summary-edge fixpoint has been reached,
+	// so recomputation can be skipped (see slice.ComputeSummaryEdges).
+	summariesDone bool
 }
+
+// SummariesComputed reports whether MarkSummariesComputed has been called.
+func (g *Graph) SummariesComputed() bool { return g.summariesDone }
+
+// MarkSummariesComputed records that the graph's summary edges are complete.
+// Adding non-summary edges afterwards invalidates the mark; callers that
+// mutate the graph further should not rely on it.
+func (g *Graph) MarkSummariesComputed() { g.summariesDone = true }
 
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() int { return len(g.Vertices) }
@@ -144,16 +159,34 @@ func (g *Graph) AddVertex(v *Vertex) VertexID {
 	return v.ID
 }
 
-// AddEdge inserts the edge if not already present.
-func (g *Graph) AddEdge(from, to VertexID, kind EdgeKind) {
-	for _, e := range g.out[from] {
-		if e.To == to && e.Kind == kind {
-			return
-		}
+// edgeKey packs (from, kind, to) into one word: 4 bits of kind below 30
+// bits of to below 30 bits of from. Vertex counts are bounded far below
+// 2^30 by memory long before the key can overflow.
+func edgeKey(from, to VertexID, kind EdgeKind) uint64 {
+	return uint64(from)<<34 | uint64(to)<<4 | uint64(kind)
+}
+
+// AddEdge inserts the edge if not already present, reporting whether it
+// was new. Dedup is O(1) through the packed edge index.
+func (g *Graph) AddEdge(from, to VertexID, kind EdgeKind) bool {
+	k := edgeKey(from, to, kind)
+	if g.edgeSet == nil {
+		g.edgeSet = map[uint64]struct{}{}
 	}
+	if _, ok := g.edgeSet[k]; ok {
+		return false
+	}
+	g.edgeSet[k] = struct{}{}
 	e := Edge{From: from, To: to, Kind: kind}
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
+	return true
+}
+
+// HasEdge reports whether the exact edge exists, in O(1).
+func (g *Graph) HasEdge(from, to VertexID, kind EdgeKind) bool {
+	_, ok := g.edgeSet[edgeKey(from, to, kind)]
+	return ok
 }
 
 // Out returns the outgoing edges of v.

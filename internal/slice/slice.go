@@ -57,8 +57,14 @@ func (s VSet) Clone() VSet {
 
 // ComputeSummaryEdges adds summary edges (actual-in → actual-out) to g for
 // every same-level realizable path from the matching formal-in to the
-// matching formal-out, using the HRB worklist algorithm. It is idempotent.
+// matching formal-out, using the HRB worklist algorithm. It is idempotent,
+// and a second call on the same graph returns immediately — which also
+// makes it safe for concurrent readers once the first call has completed.
 func ComputeSummaryEdges(g *sdg.Graph) {
+	if g.SummariesComputed() {
+		return
+	}
+	defer g.MarkSummariesComputed()
 	type pair struct {
 		v  sdg.VertexID
 		fo sdg.VertexID
@@ -123,8 +129,7 @@ func ComputeSummaryEdges(g *sdg.Graph) {
 				if !ok1 || !ok2 {
 					continue
 				}
-				if !hasEdge(g, ai, ao, sdg.EdgeSummary) {
-					g.AddEdge(ai, ao, sdg.EdgeSummary)
+				if g.AddEdge(ai, ao, sdg.EdgeSummary) {
 					for _, fo2 := range pairsFrom[ao] {
 						add(ai, fo2)
 					}
@@ -138,15 +143,6 @@ func ComputeSummaryEdges(g *sdg.Graph) {
 			}
 		}
 	}
-}
-
-func hasEdge(g *sdg.Graph, from, to sdg.VertexID, kind sdg.EdgeKind) bool {
-	for _, e := range g.Out(from) {
-		if e.To == to && e.Kind == kind {
-			return true
-		}
-	}
-	return false
 }
 
 // Backward computes the context-sensitive backward closure slice of g with

@@ -108,7 +108,7 @@ type genProc struct {
 	returns   bool
 	separable bool
 	pure      bool
-	driver    bool // may call side-effecting procs, propagating mismatches
+	driver    bool     // may call side-effecting procs, propagating mismatches
 	window    []string // the globals this proc touches directly
 }
 

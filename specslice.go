@@ -21,6 +21,13 @@
 //	out, _ := slice.Program()
 //	fmt.Println(out.Source())
 //
+// For many slices of one program, use the engine, which builds the SDG
+// encoding, Prestar indexes, reachable-configuration automaton, and
+// summary edges once and serves requests concurrently:
+//
+//	eng, _ := prog.Engine()
+//	results, stats := eng.SliceAll(reqs, specslice.BatchOptions{})
+//
 // The underlying machinery (pushdown systems, Prestar/Poststar, the
 // minimal-reverse-deterministic automaton pipeline) lives in internal
 // packages; this package is the stable surface.
@@ -29,16 +36,16 @@ package specslice
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"specslice/internal/core"
 	"specslice/internal/emit"
+	"specslice/internal/engine"
 	"specslice/internal/feature"
 	"specslice/internal/funcptr"
 	"specslice/internal/interp"
 	"specslice/internal/lang"
-	"specslice/internal/mono"
 	"specslice/internal/sdg"
-	"specslice/internal/slice"
 )
 
 // Program is a parsed MicroC program.
@@ -111,12 +118,30 @@ func (p *Program) SDG() (*SDG, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SDG{g: g}, nil
+	return &SDG{g: g, eng: engine.New(g)}, nil
 }
 
-// SDG is a system dependence graph ready for slicing.
+// SDG is a system dependence graph ready for slicing. Every SDG is backed
+// by a reusable engine that caches the PDS encoding, the
+// reachable-configuration automaton, and the HRB summary edges across
+// requests, so repeated slicing of one graph pays the setup cost once. All
+// slicing methods are safe for concurrent use.
 type SDG struct {
-	g *sdg.Graph
+	g   *sdg.Graph
+	eng *engine.Engine
+}
+
+// Engine exposes the SDG's cached batch-slicing engine.
+func (s *SDG) Engine() *Engine { return &Engine{s: s} }
+
+// Engine builds the program's SDG and returns its slicing engine — the
+// entry point for serving many slice requests against one program.
+func (p *Program) Engine() (*Engine, error) {
+	g, err := p.SDG()
+	if err != nil {
+		return nil, err
+	}
+	return g.Engine(), nil
 }
 
 // Stats summarizes the graph.
@@ -212,17 +237,22 @@ func (s *SDG) SpecializationSlice(c Criterion) (*Slice, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	var spec core.CriterionSpec
-	if s.allInMain(c) {
-		spec = c.configs()
-	} else {
-		spec = core.Vertices(c.vertices)
-	}
-	res, err := core.Specialize(s.g, spec)
+	spec := s.specFor(c)
+	res, err := s.eng.Specialize(spec)
 	if err != nil {
 		return nil, err
 	}
 	return &Slice{src: s.g, variants: res.Variants(), counts: res.VariantCounts(), res: res, spec: spec}, nil
+}
+
+// specFor chooses the configuration language of a criterion: explicit
+// empty-stack configurations when every vertex is in main, otherwise all
+// reachable calling contexts.
+func (s *SDG) specFor(c Criterion) core.CriterionSpec {
+	if s.allInMain(c) {
+		return c.configs()
+	}
+	return core.Vertices(c.vertices)
 }
 
 func (s *SDG) allInMain(c Criterion) bool {
@@ -239,7 +269,7 @@ func (s *SDG) MonovariantSlice(c Criterion) (*Slice, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	res := mono.Binkley(s.g, c.vertices)
+	res := s.eng.Binkley(c.vertices)
 	return &Slice{src: s.g, variants: res.Variants(), counts: singleCounts(res.Variants())}, nil
 }
 
@@ -248,7 +278,7 @@ func (s *SDG) WeiserSlice(c Criterion) (*Slice, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	res := mono.Weiser(s.g, c.vertices)
+	res := s.eng.Weiser(c.vertices)
 	return &Slice{src: s.g, variants: res.Variants(), counts: singleCounts(res.Variants())}, nil
 }
 
@@ -258,7 +288,7 @@ func (s *SDG) RemoveFeature(c Criterion) (*Slice, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	res, err := feature.Remove(s.g, c.vertices)
+	res, err := s.eng.RemoveFeature(c.vertices)
 	if err != nil {
 		return nil, err
 	}
@@ -271,8 +301,7 @@ func (s *SDG) ClosureSliceSize(c Criterion) (int, error) {
 	if c.err != nil {
 		return 0, c.err
 	}
-	slice.ComputeSummaryEdges(s.g)
-	return len(slice.Backward(s.g, c.vertices)), nil
+	return len(s.eng.Backward(c.vertices)), nil
 }
 
 func singleCounts(vars []core.ProcVariant) map[string]int {
@@ -314,4 +343,142 @@ func (sl *Slice) SelfCheck() error {
 		return errors.New("specslice: self-check applies to specialization slices")
 	}
 	return sl.res.ReslicingCheck(sl.spec)
+}
+
+// Engine is the reusable batch-slicing surface over one SDG: the expensive
+// per-program analysis state (PDS encoding and Prestar rule indexes,
+// reachable-configuration automaton, summary edges) is built once and
+// shared by every request. All methods are safe for concurrent use, so one
+// engine can serve many goroutines — the workload of interactive tooling
+// that issues repeated queries against a single program.
+type Engine struct {
+	s *SDG
+}
+
+// SDG returns the graph the engine serves.
+func (e *Engine) SDG() *SDG { return e.s }
+
+// Warm eagerly builds every cache so subsequent requests pay only
+// per-query costs. Calling it is optional; caches also fill lazily.
+func (e *Engine) Warm() error { return e.s.eng.Warm() }
+
+// SpecializationSlice computes the paper's polyvariant executable slice
+// through the cached engine state.
+func (e *Engine) SpecializationSlice(c Criterion) (*Slice, error) {
+	return e.s.SpecializationSlice(c)
+}
+
+// MonovariantSlice computes Binkley's monovariant executable slice.
+func (e *Engine) MonovariantSlice(c Criterion) (*Slice, error) { return e.s.MonovariantSlice(c) }
+
+// WeiserSlice computes the Weiser-style executable slice baseline.
+func (e *Engine) WeiserSlice(c Criterion) (*Slice, error) { return e.s.WeiserSlice(c) }
+
+// RemoveFeature computes the paper's §7 feature removal.
+func (e *Engine) RemoveFeature(c Criterion) (*Slice, error) { return e.s.RemoveFeature(c) }
+
+// BatchMode selects the slicer a batch request runs.
+type BatchMode int
+
+const (
+	// BatchPoly runs the specialization slicer (default).
+	BatchPoly BatchMode = iota
+	// BatchMono runs Binkley's monovariant slicer.
+	BatchMono
+	// BatchWeiser runs the Weiser-style baseline.
+	BatchWeiser
+	// BatchFeature runs §7 feature removal.
+	BatchFeature
+)
+
+// BatchRequest is one criterion in a SliceAll batch.
+type BatchRequest struct {
+	Criterion Criterion
+	Mode      BatchMode
+	// Label identifies the request in results and defaults to its index.
+	Label string
+}
+
+// BatchResult is the outcome of one batch request: exactly one of Slice or
+// Err is set.
+type BatchResult struct {
+	Label    string
+	Slice    *Slice
+	Err      error
+	Duration time.Duration
+}
+
+// BatchOptions configures SliceAll.
+type BatchOptions struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// BatchStats aggregates a SliceAll run.
+type BatchStats struct {
+	Requests int
+	Failed   int
+	Workers  int
+	// Wall is the end-to-end batch time; Work is the sum of per-request
+	// durations, so Work/Wall approximates the achieved parallelism.
+	Wall time.Duration
+	Work time.Duration
+}
+
+// SliceAll serves a batch of slice requests through a worker pool, sharing
+// the engine's cached analysis state across all of them. Results come back
+// in request order; a failing criterion fails only its own request.
+func (e *Engine) SliceAll(reqs []BatchRequest, opts BatchOptions) ([]BatchResult, BatchStats) {
+	s := e.s
+	ereqs := make([]engine.Request, len(reqs))
+	specs := make([]core.CriterionSpec, len(reqs))
+	for i, r := range reqs {
+		label := r.Label
+		if label == "" {
+			label = fmt.Sprintf("#%d", i)
+		}
+		ereqs[i] = engine.Request{Label: label, Err: r.Criterion.err}
+		if r.Criterion.err != nil {
+			continue
+		}
+		switch r.Mode {
+		case BatchPoly:
+			ereqs[i].Mode = engine.ModePoly
+			specs[i] = s.specFor(r.Criterion)
+			ereqs[i].Spec = specs[i]
+		case BatchMono:
+			ereqs[i].Mode = engine.ModeMono
+			ereqs[i].Vertices = r.Criterion.vertices
+		case BatchWeiser:
+			ereqs[i].Mode = engine.ModeWeiser
+			ereqs[i].Vertices = r.Criterion.vertices
+		case BatchFeature:
+			ereqs[i].Mode = engine.ModeFeature
+			ereqs[i].Vertices = r.Criterion.vertices
+		default:
+			ereqs[i].Err = fmt.Errorf("specslice: unknown batch mode %d", r.Mode)
+		}
+	}
+
+	resps, estats := s.eng.SliceAll(ereqs, engine.BatchOptions{Workers: opts.Workers})
+	out := make([]BatchResult, len(resps))
+	for i, resp := range resps {
+		br := BatchResult{Label: resp.Label, Err: resp.Err, Duration: resp.Duration}
+		if resp.Err == nil {
+			switch {
+			case resp.Poly != nil:
+				br.Slice = &Slice{src: s.g, variants: resp.Poly.Variants(), counts: resp.Poly.VariantCounts(), res: resp.Poly, spec: specs[i]}
+			case resp.Mono != nil:
+				br.Slice = &Slice{src: s.g, variants: resp.Mono.Variants(), counts: singleCounts(resp.Mono.Variants())}
+			}
+		}
+		out[i] = br
+	}
+	return out, BatchStats{
+		Requests: estats.Requests,
+		Failed:   estats.Failed,
+		Workers:  estats.Workers,
+		Wall:     estats.Wall,
+		Work:     estats.Work,
+	}
 }
