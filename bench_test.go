@@ -16,6 +16,7 @@ import (
 	"specslice/internal/core"
 	"specslice/internal/emit"
 	"specslice/internal/engine"
+	"specslice/internal/fsa"
 	"specslice/internal/interp"
 	"specslice/internal/lang"
 	"specslice/internal/mono"
@@ -65,6 +66,7 @@ func BenchmarkFig14Slices(b *testing.B) {
 // path amortizes the SDG, the PDS encoding, and the Prestar rule indexes.
 func BenchmarkEngineReuse(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g, err := specslice.MustParse(workload.Fig1Source).SDG()
 			if err != nil {
@@ -87,10 +89,43 @@ func BenchmarkEngineReuse(b *testing.B) {
 		if _, err := eng.SpecializationSlice(crit); err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.SpecializationSlice(crit); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAutomatonPipeline isolates the Alg.-1 automaton half (lines 4–8)
+// on a replace-suite slice automaton: the fused MRD chain (reversal folded
+// into the subset construction, shared scratch arena, no epsilon-removal
+// pass) against the composed per-operation chain it replaced.
+func BenchmarkAutomatonPipeline(b *testing.B) {
+	cfg := benchConfig("replace")
+	g := sdg.MustBuild(workload.Generate(cfg))
+	crit := printfSites(g)[0]
+	res, err := core.Specialize(g, configsFor(crit))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a1 := res.A1
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if a6, _ := fsa.MRD(a1); a6.NumStates() == 0 {
+				b.Fatal("empty MRD result")
+			}
+		}
+	})
+	b.Run("composed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a6 := a1.Reverse().Determinize().Minimize().Reverse().RemoveEpsilon()
+			if a6.NumStates() == 0 {
+				b.Fatal("empty composed result")
 			}
 		}
 	})

@@ -27,10 +27,11 @@ func main() {
 	maxK := flag.Int("maxk", 7, "largest k for the fig13 exponential family")
 	jsonOut := flag.Bool("json", false, "write machine-readable engine timings to BENCH_engine.json")
 	benchIters := flag.Int("bench-iters", 20, "iterations per -json timing loop")
+	workers := flag.Int("workers", 0, "SliceAll worker-pool size for the -json batch (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *jsonOut {
-		eb, err := experiments.RunEngineBench(*benchIters)
+		eb, err := experiments.RunEngineBench(*benchIters, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -39,8 +40,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("BENCH_engine.json: cold %.0fns/op, warm %.0fns/op (%.1fx), batch %d/%d workers %.1fx\n",
-			eb.ColdNsPerOp, eb.WarmNsPerOp, eb.WarmSpeedup, eb.BatchSize, eb.Workers, eb.BatchSpeedup)
+		fmt.Printf("BENCH_engine.json: cold %.0fns/op, warm %.0fns/op (%.1fx, %.0f allocs/op), batch %d/%d workers %.1fx\n",
+			eb.ColdNsPerOp, eb.WarmNsPerOp, eb.WarmSpeedup, eb.WarmAllocsPerOp, eb.BatchSize, eb.Workers, eb.BatchSpeedup)
 		if *table == "none" {
 			return
 		}

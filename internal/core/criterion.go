@@ -76,6 +76,7 @@ func (v SDGVertices) buildQuery(e *Encoding) (*fsa.FSA, error) {
 	}
 	// Accept v·Σ_sites* for each vertex.
 	q := fsa.New(e.PDS.NumLocs)
+	q.Reserve(len(v) + len(e.G.Sites))
 	final := q.AddState()
 	q.SetFinal(final)
 	for _, vid := range v {

@@ -140,11 +140,12 @@ func Encode(g *sdg.Graph) *Encoding {
 
 // PAutomatonToFSA converts a P-automaton into a plain FSA accepting the
 // stack language of control location p (state 0): the configurations
-// (p, w) the automaton accepts.
+// (p, w) the automaton accepts. RemoveEpsilon trims, so Prestar results
+// (always epsilon-free) cost one structural clone plus one trim here.
 func PAutomatonToFSA(a *fsa.FSA) *fsa.FSA {
 	c := a.Clone()
 	c.SetStart(0)
-	return c.RemoveEpsilon().Trim()
+	return c.RemoveEpsilon()
 }
 
 // FSAToQuery converts a plain FSA over encoding symbols into a P-automaton
@@ -153,8 +154,9 @@ func PAutomatonToFSA(a *fsa.FSA) *fsa.FSA {
 // locations. The language must not contain the empty word (configuration
 // words always begin with a vertex symbol).
 func FSAToQuery(f *fsa.FSA, numLocs int) *fsa.FSA {
-	f = f.RemoveEpsilon().Trim()
+	f = f.RemoveEpsilon()
 	q := fsa.New(numLocs + f.NumStates())
+	q.Reserve(2 * f.NumTransitions())
 	off := numLocs
 	for _, t := range f.Transitions() {
 		q.Add(t.From+off, t.Sym, t.To+off)

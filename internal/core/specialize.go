@@ -14,9 +14,24 @@ import (
 type Timings struct {
 	Encode       time.Duration
 	Prestar      time.Duration
-	AutomatonOps time.Duration // reverse/determinize/minimize/reverse/removeEps
+	AutomatonOps time.Duration // fused reverse/determinize/minimize/reverse chain
 	Readout      time.Duration
 	Total        time.Duration
+
+	// Sub-phases of AutomatonOps, as reported by the fused fsa.MRD chain.
+	AutomatonDeterminize time.Duration
+	AutomatonMinimize    time.Duration
+}
+
+// Add accumulates o into t (batch aggregation of per-request timings).
+func (t *Timings) Add(o Timings) {
+	t.Encode += o.Encode
+	t.Prestar += o.Prestar
+	t.AutomatonOps += o.AutomatonOps
+	t.Readout += o.Readout
+	t.Total += o.Total
+	t.AutomatonDeterminize += o.AutomatonDeterminize
+	t.AutomatonMinimize += o.AutomatonMinimize
 }
 
 // Result is the output of the specialization-slicing algorithm.
@@ -133,17 +148,18 @@ func SpecializeFromSliceAutomaton(g *sdg.Graph, enc *Encoding, a1 *fsa.FSA) (*Re
 }
 
 // finish performs the automaton transformations (lines 4–8) and the SDG
-// read-out (lines 9–24).
+// read-out (lines 9–24). The reverse→determinize→minimize→reverse chain
+// runs fused (fsa.MRD): the reversal folds into the subset construction's
+// adjacency and the minimal DFA is already epsilon-free, so neither the
+// reversed copy nor a separate epsilon-removal pass is materialized.
 func (res *Result) finish() error {
 	t2 := time.Now()
-	a2 := res.A1.Reverse()
 	res.StatesBeforeDeterminize = res.A1.NumStates()
-	a3 := a2.Determinize()
-	res.StatesAfterDeterminize = a3.NumStates()
-	a4 := a3.Minimize()
-	a5 := a4.Reverse()
-	a6 := a5.RemoveEpsilon().Trim()
+	a6, st := fsa.MRD(res.A1)
+	res.StatesAfterDeterminize = st.DetStates
 	res.A6 = a6
+	res.Timings.AutomatonDeterminize = st.Determinize
+	res.Timings.AutomatonMinimize = st.Minimize
 	res.Timings.AutomatonOps = time.Since(t2)
 
 	if !a6.IsReverseDeterministic() {

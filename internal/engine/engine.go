@@ -159,6 +159,10 @@ type BatchStats struct {
 	// durations (Work/Wall ≈ achieved parallelism).
 	Wall time.Duration
 	Work time.Duration
+	// Phases sums the polyvariant requests' per-phase timings (the paper's
+	// Fig. 21 breakdown: Prestar, AutomatonOps with its determinize and
+	// minimize sub-phases, Readout) across the batch.
+	Phases core.Timings
 }
 
 // SliceAll serves every request, fanning them out across a worker pool, and
@@ -205,6 +209,9 @@ func (e *Engine) SliceAll(reqs []Request, opts BatchOptions) ([]Response, BatchS
 		stats.Work += r.Duration
 		if r.Err != nil {
 			stats.Failed++
+		}
+		if r.Poly != nil {
+			stats.Phases.Add(r.Poly.Timings)
 		}
 	}
 	return out, stats

@@ -12,24 +12,42 @@ import (
 	"specslice/internal/workload"
 )
 
+// PhaseNs is the per-request automaton-pipeline breakdown (paper Fig. 21)
+// of the warm loop, in nanoseconds per op. Automaton covers the fused
+// reverse/determinize/minimize/reverse chain; Determinize and Minimize are
+// its sub-phases as reported by fsa.MRD.
+type PhaseNs struct {
+	Prestar     float64 `json:"prestar"`
+	Automaton   float64 `json:"automaton"`
+	Determinize float64 `json:"automaton_determinize"`
+	Minimize    float64 `json:"automaton_minimize"`
+	Readout     float64 `json:"readout"`
+}
+
 // EngineBench is the machine-readable engine-amortization measurement
 // written by `experiments -json`: cold (one-shot, rebuild everything) vs.
 // warm (engine-cached) polyvariant slices on the Fig. 14 workload, and
 // sequential one-shot vs. batch SliceAll over many criteria on a Siemens
 // suite. Future PRs track the perf trajectory through these numbers.
 type EngineBench struct {
-	GeneratedAt  string  `json:"generated_at,omitempty"`
-	GoMaxProcs   int     `json:"gomaxprocs"`
-	Iterations   int     `json:"iterations"`
-	ColdNsPerOp  float64 `json:"cold_ns_per_op"`
-	WarmNsPerOp  float64 `json:"warm_ns_per_op"`
-	WarmSpeedup  float64 `json:"warm_speedup"`
-	BatchSuite   string  `json:"batch_suite"`
-	BatchSize    int     `json:"batch_size"`
-	SeqNs        int64   `json:"batch_sequential_ns"`
-	BatchNs      int64   `json:"batch_parallel_ns"`
-	BatchSpeedup float64 `json:"batch_speedup"`
-	Workers      int     `json:"batch_workers"`
+	GeneratedAt     string   `json:"generated_at,omitempty"`
+	GoMaxProcs      int      `json:"gomaxprocs"`
+	Iterations      int      `json:"iterations"`
+	ColdNsPerOp     float64  `json:"cold_ns_per_op"`
+	WarmNsPerOp     float64  `json:"warm_ns_per_op"`
+	WarmSpeedup     float64  `json:"warm_speedup"`
+	WarmAllocsPerOp float64  `json:"warm_allocs_per_op"`
+	WarmBytesPerOp  float64  `json:"warm_bytes_per_op"`
+	WarmPhases      *PhaseNs `json:"warm_phase_ns,omitempty"`
+	BatchSuite      string   `json:"batch_suite"`
+	BatchSize       int      `json:"batch_size"`
+	SeqNs           int64    `json:"batch_sequential_ns"`
+	BatchNs         int64    `json:"batch_parallel_ns"`
+	BatchSpeedup    float64  `json:"batch_speedup"`
+	// WorkersRequested is the -workers flag value (0 = GOMAXPROCS);
+	// Workers is the pool size SliceAll actually used.
+	WorkersRequested int `json:"batch_workers_requested"`
+	Workers          int `json:"batch_workers"`
 }
 
 func specOf(vs []sdg.VertexID) core.Configs {
@@ -41,15 +59,17 @@ func specOf(vs []sdg.VertexID) core.Configs {
 }
 
 // RunEngineBench measures cold vs. warm slicing and sequential vs. batch
-// throughput, with iters iterations per timed loop.
-func RunEngineBench(iters int) (*EngineBench, error) {
+// throughput, with iters iterations per timed loop and the given SliceAll
+// worker-pool size (0 = GOMAXPROCS).
+func RunEngineBench(iters, workers int) (*EngineBench, error) {
 	if iters <= 0 {
 		iters = 20
 	}
 	eb := &EngineBench{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Iterations:  iters,
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Iterations:       iters,
+		WorkersRequested: workers,
 	}
 
 	// Cold: the one-shot pipeline rebuilds the SDG and its encoding for
@@ -65,7 +85,8 @@ func RunEngineBench(iters int) (*EngineBench, error) {
 	}
 	eb.ColdNsPerOp = float64(time.Since(t0).Nanoseconds()) / float64(iters)
 
-	// Warm: one engine serves every request from its caches.
+	// Warm: one engine serves every request from its caches. The loop also
+	// collects the Fig. 21 per-phase breakdown and the allocation rate.
 	g := sdg.MustBuild(prog)
 	eng := engine.New(g)
 	if err := eng.Warm(); err != nil {
@@ -75,15 +96,32 @@ func RunEngineBench(iters int) (*EngineBench, error) {
 	if _, err := eng.Specialize(crit); err != nil {
 		return nil, err
 	}
+	var phases core.Timings
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	t0 = time.Now()
 	for i := 0; i < iters; i++ {
-		if _, err := eng.Specialize(crit); err != nil {
+		res, err := eng.Specialize(crit)
+		if err != nil {
 			return nil, err
 		}
+		phases.Add(res.Timings)
 	}
-	eb.WarmNsPerOp = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+	warm := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	eb.WarmNsPerOp = float64(warm.Nanoseconds()) / float64(iters)
+	eb.WarmAllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+	eb.WarmBytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters)
 	if eb.WarmNsPerOp > 0 {
 		eb.WarmSpeedup = eb.ColdNsPerOp / eb.WarmNsPerOp
+	}
+	per := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(iters) }
+	eb.WarmPhases = &PhaseNs{
+		Prestar:     per(phases.Prestar),
+		Automaton:   per(phases.AutomatonOps),
+		Determinize: per(phases.AutomatonDeterminize),
+		Minimize:    per(phases.AutomatonMinimize),
+		Readout:     per(phases.Readout),
 	}
 
 	// Batch: ≥16 criteria over one Siemens-sized suite, sequential one-shot
@@ -121,7 +159,7 @@ func RunEngineBench(iters int) (*EngineBench, error) {
 		reqs[i] = engine.Request{Mode: engine.ModePoly, Spec: specOf(c)}
 	}
 	t0 = time.Now()
-	resps, stats := beng.SliceAll(reqs, engine.BatchOptions{})
+	resps, stats := beng.SliceAll(reqs, engine.BatchOptions{Workers: workers})
 	eb.BatchNs = time.Since(t0).Nanoseconds()
 	eb.Workers = stats.Workers
 	for _, r := range resps {

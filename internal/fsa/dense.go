@@ -5,6 +5,9 @@ import "math/bits"
 // bitset is a dense set of small non-negative ints (state indices).
 type bitset []uint64
 
+// bitsWords returns the word count of a fixed-width bitset over n elements.
+func bitsWords(n int) int { return (n + 63) / 64 }
+
 func (b bitset) get(i int) bool {
 	w := i >> 6
 	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
@@ -48,6 +51,31 @@ func (b bitset) clone() bitset {
 	return c
 }
 
+// intersects reports whether the two sets share a member.
+func (b bitset) intersects(o bitset) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// forEach visits the set bits in ascending order.
+func (b bitset) forEach(f func(int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			w &^= 1 << uint(i)
+			f(wi<<6 + i)
+		}
+	}
+}
+
 // Transition packing: 21 bits each for from, sym+1, and to (63 bits total),
 // so every packed key fits a uint64 with room for the +1 empty-slot bias.
 const packBits = 21
@@ -79,9 +107,11 @@ func (s *transSet) probe(key uint64) int {
 	return int(i)
 }
 
-func (s *transSet) grow() {
+// rehash replaces the slot table with one of newLen slots (a power of two)
+// and reinserts every key.
+func (s *transSet) rehash(newLen int) {
 	old := s.slots
-	s.slots = make([]uint64, 2*len(old))
+	s.slots = make([]uint64, newLen)
 	for _, v := range old {
 		if v != 0 {
 			s.slots[s.probe(v-1)] = v
@@ -113,9 +143,39 @@ func (s *transSet) add(t Transition) bool {
 	s.slots[i] = key + 1
 	s.n++
 	if 4*(s.n-len(s.wide)) >= 3*len(s.slots) {
-		s.grow()
+		s.rehash(2 * len(s.slots))
 	}
 	return true
+}
+
+// reserve sizes the slot table for about m packed transitions, avoiding
+// rehash churn during bulk construction (Reverse, Trim, quotient emission).
+func (s *transSet) reserve(m int) {
+	if m <= 0 {
+		return
+	}
+	need := 64
+	for 4*m >= 3*need {
+		need *= 2
+	}
+	if need > len(s.slots) {
+		s.rehash(need)
+	}
+}
+
+// clone deep-copies the index without re-hashing.
+func (s *transSet) clone() transSet {
+	c := transSet{n: s.n}
+	if s.slots != nil {
+		c.slots = append([]uint64(nil), s.slots...)
+	}
+	if s.wide != nil {
+		c.wide = make(map[Transition]bool, len(s.wide))
+		for t := range s.wide {
+			c.wide[t] = true
+		}
+	}
+	return c
 }
 
 func (s *transSet) has(t Transition) bool {

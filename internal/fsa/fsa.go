@@ -6,9 +6,12 @@
 // the §7/§8.3 extensions). It plays the role OpenFST plays in the paper's
 // implementation.
 //
-// The hot-path representations are dense: start/final sets are bitsets and
+// The hot-path representations are dense: state sets are bitsets,
 // transition dedup goes through an open-addressing hash index keyed on
-// packed (from, sym, to) ints rather than a Go map of structs.
+// packed (from, sym, to) ints, subset construction interns state-set
+// bitsets through an FNV hash table, and the pipeline stages draw their
+// scratch (symbol-indexed adjacency, worklists, move sets) from a pooled
+// arena (see pipeline.go).
 package fsa
 
 import (
@@ -40,6 +43,12 @@ type FSA struct {
 	out       [][]Transition
 	// index deduplicates (from, sym, to) triples.
 	index transSet
+	// alpha caches the non-epsilon symbols on transitions, maintained
+	// incrementally by Add. Transitions are never removed, so the set is
+	// always exact; keeping it as an Add-time bitset (rather than a slice
+	// cached lazily inside Alphabet) means concurrent readers of a shared
+	// automaton never race on a cache fill.
+	alpha bitset
 }
 
 // New returns an automaton with n states and no transitions.
@@ -84,15 +93,6 @@ func (a *FSA) NumStarts() int { return a.starts.count() }
 // NumFinals returns the accepting-state count.
 func (a *FSA) NumFinals() int { return a.finals.count() }
 
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
-}
-
 // Add inserts a transition (deduplicated). It reports whether the
 // transition was new.
 func (a *FSA) Add(from int, sym Symbol, to int) bool {
@@ -101,8 +101,16 @@ func (a *FSA) Add(from int, sym Symbol, to int) bool {
 		return false
 	}
 	a.out[from] = append(a.out[from], t)
+	if sym != Epsilon {
+		a.alpha.set(int(sym))
+	}
 	return true
 }
+
+// Reserve sizes the transition-dedup index for about m transitions,
+// avoiding rehash churn when the caller knows the transition count up
+// front (bulk construction of queries, reversals, quotients).
+func (a *FSA) Reserve(m int) { a.index.reserve(m) }
 
 // Has reports whether the transition exists.
 func (a *FSA) Has(from int, sym Symbol, to int) bool {
@@ -140,291 +148,257 @@ func (a *FSA) Transitions() []Transition {
 // NumTransitions returns the transition count.
 func (a *FSA) NumTransitions() int { return a.index.n }
 
-// Alphabet returns the non-epsilon symbols appearing on transitions, sorted.
+// Alphabet returns the non-epsilon symbols appearing on transitions,
+// sorted. The set is maintained incrementally by Add, so this is a single
+// pass over a bitset — no map, no sort.
 func (a *FSA) Alphabet() []Symbol {
-	set := map[Symbol]bool{}
-	a.each(func(t Transition) {
-		if t.Sym != Epsilon {
-			set[t.Sym] = true
-		}
-	})
-	out := make([]Symbol, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]Symbol, 0, a.alpha.count())
+	a.alpha.forEach(func(s int) { out = append(out, Symbol(s)) })
 	return out
 }
 
-// epsClosure expands a state set across epsilon transitions.
-func (a *FSA) epsClosure(set map[int]bool) map[int]bool {
-	work := make([]int, 0, len(set))
-	for s := range set {
-		work = append(work, s)
-	}
+// closureInto expands set (a fixed-width bitset over the automaton's
+// states) across epsilon transitions in place, using work as the DFS stack;
+// the (possibly grown) stack is returned for reuse.
+func (a *FSA) closureInto(set bitset, work []int) []int {
+	work = work[:0]
+	set.forEach(func(s int) { work = append(work, s) })
 	for len(work) > 0 {
 		s := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, t := range a.out[s] {
-			if t.Sym == Epsilon && !set[t.To] {
-				set[t.To] = true
+			if t.Sym == Epsilon && !set.get(t.To) {
+				set[t.To>>6] |= 1 << (uint(t.To) & 63)
 				work = append(work, t.To)
 			}
 		}
 	}
-	return set
+	return work
 }
 
 // Accepts reports whether the automaton accepts the word.
 func (a *FSA) Accepts(word []Symbol) bool {
-	cur := boolSet(a.Starts())
-	cur = a.epsClosure(cur)
-	for _, sym := range word {
-		next := map[int]bool{}
-		for s := range cur {
-			for _, t := range a.out[s] {
-				if t.Sym == sym {
-					next[t.To] = true
-				}
-			}
-		}
-		cur = a.epsClosure(next)
-		if len(cur) == 0 {
-			return false
-		}
-	}
-	for s := range cur {
-		if a.IsFinal(s) {
-			return true
-		}
-	}
-	return false
+	w := bitsWords(a.numStates)
+	cur := make(bitset, w)
+	copy(cur, a.starts)
+	return a.acceptsSet(cur, word)
 }
 
 // AcceptsFrom reports whether the automaton accepts word when started in
 // the given state (rather than the start set). P-automata use this to test
 // configuration acceptance: state = control location, word = stack.
 func (a *FSA) AcceptsFrom(state int, word []Symbol) bool {
-	cur := a.epsClosure(map[int]bool{state: true})
+	cur := make(bitset, bitsWords(a.numStates))
+	if state < a.numStates {
+		cur[state>>6] |= 1 << (uint(state) & 63)
+	}
+	return a.acceptsSet(cur, word)
+}
+
+// acceptsSet runs the word from the given state set; cur must be a
+// fixed-width bitset over the automaton's states (it is consumed).
+func (a *FSA) acceptsSet(cur bitset, word []Symbol) bool {
+	next := make(bitset, len(cur))
+	work := a.closureInto(cur, nil)
 	for _, sym := range word {
-		next := map[int]bool{}
-		for s := range cur {
+		clear(next)
+		any := false
+		cur.forEach(func(s int) {
 			for _, t := range a.out[s] {
 				if t.Sym == sym {
-					next[t.To] = true
+					next[t.To>>6] |= 1 << (uint(t.To) & 63)
+					any = true
 				}
 			}
-		}
-		cur = a.epsClosure(next)
-		if len(cur) == 0 {
+		})
+		cur, next = next, cur
+		if !any {
 			return false
 		}
+		work = a.closureInto(cur, work)
 	}
-	for s := range cur {
-		if a.IsFinal(s) {
-			return true
-		}
-	}
-	return false
+	return cur.intersects(a.finals)
 }
 
 // Reverse returns an automaton for the reversed language: every transition
 // is flipped and start/final sets swap.
 func (a *FSA) Reverse() *FSA {
 	r := New(a.numStates)
+	r.Reserve(a.index.n)
 	a.each(func(t Transition) { r.Add(t.To, t.Sym, t.From) })
 	r.starts = a.finals.clone()
 	r.finals = a.starts.clone()
 	return r
 }
 
-// RemoveEpsilon returns an equivalent automaton without epsilon transitions.
+// RemoveEpsilon returns an equivalent automaton without epsilon
+// transitions, trimmed. Already-epsilon-free automata take a copy-free
+// fast path.
 func (a *FSA) RemoveEpsilon() *FSA {
+	ar := getArena()
+	defer putArena(ar)
+	adj := buildAdjacency(a, false, ar)
+	if !adj.hasEps {
+		return a.Trim()
+	}
 	r := New(a.numStates)
+	r.Reserve(a.index.n)
+	w := bitsWords(a.numStates)
+	cl := bitset(ar.u64(w))
 	for s := 0; s < a.numStates; s++ {
-		cl := a.epsClosure(map[int]bool{s: true})
-		for c := range cl {
-			if a.IsFinal(c) {
+		clear(cl)
+		cl[s>>6] |= 1 << (uint(s) & 63)
+		adj.closure(cl, ar)
+		cl.forEach(func(c int) {
+			if a.finals.get(c) {
 				r.SetFinal(s)
 			}
-			for _, t := range a.out[c] {
-				if t.Sym != Epsilon {
-					r.Add(s, t.Sym, t.To)
-				}
+			for j := adj.start[c]; j < adj.start[c+1]; j++ {
+				r.Add(s, adj.syms[adj.tsym[j]], int(adj.tto[j]))
 			}
-		}
+		})
 	}
 	r.starts = a.starts.clone()
 	return r.Trim()
 }
 
-// Determinize performs the subset construction, returning a deterministic
-// automaton (single start state, no epsilon transitions, at most one
-// transition per (state, symbol)). Missing transitions mean rejection.
-func (a *FSA) Determinize() *FSA {
-	start := a.epsClosure(boolSet(a.Starts()))
-	key := setKey(start)
-	index := map[string]int{key: 0}
-	sets := []map[int]bool{start}
-	d := New(1)
-	if anyFinal(a, start) {
-		d.SetFinal(0)
+// distinctNonEps reports whether the automaton has no epsilon transitions
+// and no two transitions sharing a key under keyOf, probing an arena-backed
+// open-addressing set (no per-call heap allocation, bounded by the
+// transition count rather than the symbol range).
+func (a *FSA) distinctNonEps(keyOf func(Transition) uint64) bool {
+	ar := getArena()
+	defer putArena(ar)
+	need := 16
+	for need < 2*a.index.n {
+		need *= 2
 	}
-	d.SetStart(0)
-	work := []int{0}
-	for len(work) > 0 {
-		cur := work[len(work)-1]
-		work = work[:len(work)-1]
-		// Group moves by symbol.
-		moves := map[Symbol]map[int]bool{}
-		for s := range sets[cur] {
-			for _, t := range a.out[s] {
-				if t.Sym == Epsilon {
-					continue
-				}
-				if moves[t.Sym] == nil {
-					moves[t.Sym] = map[int]bool{}
-				}
-				moves[t.Sym][t.To] = true
-			}
-		}
-		syms := make([]Symbol, 0, len(moves))
-		for s := range moves {
-			syms = append(syms, s)
-		}
-		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-		for _, sym := range syms {
-			next := a.epsClosure(moves[sym])
-			k := setKey(next)
-			idx, ok := index[k]
-			if !ok {
-				idx = d.AddState()
-				index[k] = idx
-				sets = append(sets, next)
-				if anyFinal(a, next) {
-					d.SetFinal(idx)
-				}
-				work = append(work, idx)
-			}
-			d.Add(cur, sym, idx)
-		}
-	}
-	return d
-}
-
-func boolSet(xs []int) map[int]bool {
-	m := map[int]bool{}
-	for _, x := range xs {
-		m[x] = true
-	}
-	return m
-}
-
-func anyFinal(a *FSA, set map[int]bool) bool {
-	for s := range set {
-		if a.IsFinal(s) {
-			return true
-		}
-	}
-	return false
-}
-
-func setKey(set map[int]bool) string {
-	xs := sortedKeys(set)
-	var sb strings.Builder
-	for _, x := range xs {
-		fmt.Fprintf(&sb, "%d,", x)
-	}
-	return sb.String()
-}
-
-// IsDeterministic reports whether the automaton has a single start state,
-// no epsilon transitions, and at most one transition per (state, symbol).
-func (a *FSA) IsDeterministic() bool {
-	if a.starts.count() != 1 {
-		return false
-	}
-	for s := 0; s < a.numStates; s++ {
-		seen := map[Symbol]bool{}
-		for _, t := range a.out[s] {
-			if t.Sym == Epsilon || seen[t.Sym] {
+	slots := ar.u64(need)
+	mask := uint64(need - 1)
+	for _, ts := range a.out {
+		for _, t := range ts {
+			if t.Sym == Epsilon {
 				return false
 			}
-			seen[t.Sym] = true
+			k := keyOf(t)
+			i := (k * 0x9E3779B97F4A7C15) >> 32 & mask
+			for slots[i] != 0 {
+				if slots[i] == k+1 {
+					return false
+				}
+				i = (i + 1) & mask
+			}
+			slots[i] = k + 1
 		}
 	}
 	return true
 }
 
+// IsDeterministic reports whether the automaton has a single start state,
+// no epsilon transitions, and at most one transition per (state, symbol).
+func (a *FSA) IsDeterministic() bool {
+	return a.starts.count() == 1 &&
+		a.distinctNonEps(func(t Transition) uint64 {
+			return uint64(t.From)<<32 | uint64(uint32(t.Sym))
+		})
+}
+
 // IsReverseDeterministic reports whether the reversed automaton is
 // deterministic — the defining property of the paper's A6 (Obs. 3.11).
+// Checked directly on the transition structure, without materializing the
+// reversal: exactly one final state (the reversal's single start), no
+// epsilon transitions, and no two transitions on the same symbol entering
+// the same state.
 func (a *FSA) IsReverseDeterministic() bool {
-	return a.Reverse().IsDeterministic()
+	return a.finals.count() == 1 &&
+		a.distinctNonEps(func(t Transition) uint64 {
+			return uint64(t.To)<<32 | uint64(uint32(t.Sym))
+		})
 }
 
 // Trim removes states that are not both reachable from a start state and
 // able to reach a final state, remapping state indices.
 func (a *FSA) Trim() *FSA {
-	reach := make(bitset, (a.numStates+63)/64)
-	work := a.Starts()
-	for _, s := range work {
-		reach.set(s)
-	}
+	ar := getArena()
+	defer putArena(ar)
+	n := a.numStates
+	w := bitsWords(n)
+	reach := bitset(ar.u64(w))
+	work := ar.cwork[:0]
+	a.starts.forEach(func(s int) {
+		reach[s>>6] |= 1 << (uint(s) & 63)
+		work = append(work, int32(s))
+	})
 	for len(work) > 0 {
-		s := work[len(work)-1]
+		s := int(work[len(work)-1])
 		work = work[:len(work)-1]
 		for _, t := range a.out[s] {
 			if !reach.get(t.To) {
-				reach.set(t.To)
-				work = append(work, t.To)
+				reach[t.To>>6] |= 1 << (uint(t.To) & 63)
+				work = append(work, int32(t.To))
 			}
 		}
 	}
-	// Co-reachable: backward from finals.
-	back := make([][]int, a.numStates)
-	a.each(func(t Transition) { back[t.To] = append(back[t.To], t.From) })
-	co := make(bitset, (a.numStates+63)/64)
-	work = a.Finals()
-	for _, s := range work {
-		co.set(s)
+	// Co-reachable: backward from finals over an arena CSR of the reversed
+	// edges (symbols are irrelevant here).
+	bstart := ar.i32(n + 1)
+	a.each(func(t Transition) { bstart[t.To+1]++ })
+	for s := 0; s < n; s++ {
+		bstart[s+1] += bstart[s]
 	}
+	bfrom := ar.i32(int(bstart[n]))
+	bcur := ar.i32(n)
+	copy(bcur, bstart[:n])
+	for from, ts := range a.out {
+		for _, t := range ts {
+			bfrom[bcur[t.To]] = int32(from)
+			bcur[t.To]++
+		}
+	}
+	co := bitset(ar.u64(w))
+	work = work[:0]
+	a.finals.forEach(func(s int) {
+		co[s>>6] |= 1 << (uint(s) & 63)
+		work = append(work, int32(s))
+	})
 	for len(work) > 0 {
-		s := work[len(work)-1]
+		s := int(work[len(work)-1])
 		work = work[:len(work)-1]
-		for _, p := range back[s] {
-			if !co.get(p) {
-				co.set(p)
+		for j := bstart[s]; j < bstart[s+1]; j++ {
+			p := bfrom[j]
+			if !co.get(int(p)) {
+				co[p>>6] |= 1 << (uint(p) & 63)
 				work = append(work, p)
 			}
 		}
 	}
-	keep := make([]int, a.numStates)
-	n := 0
-	for s := 0; s < a.numStates; s++ {
+	ar.cwork = work[:0]
+	keep := ar.i32(n) // new state + 1
+	n2 := 0
+	for s := 0; s < n; s++ {
 		if reach.get(s) && co.get(s) {
-			keep[s] = n
-			n++
-		} else {
-			keep[s] = -1
+			keep[s] = int32(n2) + 1
+			n2++
 		}
 	}
-	r := New(n)
+	r := New(n2)
+	r.Reserve(a.index.n)
 	a.each(func(t Transition) {
 		f, g := keep[t.From], keep[t.To]
-		if f >= 0 && g >= 0 {
-			r.Add(f, t.Sym, g)
+		if f > 0 && g > 0 {
+			r.Add(int(f-1), t.Sym, int(g-1))
 		}
 	})
-	for _, s := range a.Starts() {
-		if keep[s] >= 0 {
-			r.SetStart(keep[s])
+	a.starts.forEach(func(s int) {
+		if keep[s] > 0 {
+			r.SetStart(int(keep[s] - 1))
 		}
-	}
-	for _, s := range a.Finals() {
-		if keep[s] >= 0 {
-			r.SetFinal(keep[s])
+	})
+	a.finals.forEach(func(s int) {
+		if keep[s] > 0 {
+			r.SetFinal(int(keep[s] - 1))
 		}
-	}
+	})
 	return r
 }
 
@@ -475,12 +449,23 @@ func (a *FSA) InverseRelabel(m map[Symbol]Symbol) *FSA {
 	return r
 }
 
-// Clone deep-copies the automaton.
+// Clone deep-copies the automaton by structural copy — the transition
+// index is memcpy'd rather than re-hashed, so cloning is cheap on the warm
+// path (P-automaton → FSA conversion clones per request).
 func (a *FSA) Clone() *FSA {
-	r := New(a.numStates)
-	a.each(func(t Transition) { r.Add(t.From, t.Sym, t.To) })
-	r.starts = a.starts.clone()
-	r.finals = a.finals.clone()
+	r := &FSA{
+		numStates: a.numStates,
+		starts:    a.starts.clone(),
+		finals:    a.finals.clone(),
+		alpha:     a.alpha.clone(),
+		out:       make([][]Transition, len(a.out)),
+		index:     a.index.clone(),
+	}
+	for i, ts := range a.out {
+		if len(ts) > 0 {
+			r.out[i] = append([]Transition(nil), ts...)
+		}
+	}
 	return r
 }
 

@@ -4,7 +4,8 @@ import "sort"
 
 // Minimize returns the minimal DFA for the automaton's language. The input
 // may be any automaton; it is determinized and trimmed first. The result is
-// deterministic, trim, and unique up to state renaming.
+// deterministic, trim, and unique up to state renaming. Minimization runs
+// Hopcroft's algorithm on dense structures (see pipeline.go).
 func (a *FSA) Minimize() *FSA {
 	d := a
 	if !d.IsDeterministic() {
@@ -15,162 +16,6 @@ func (a *FSA) Minimize() *FSA {
 		return d
 	}
 	return hopcroft(d)
-}
-
-// hopcroft runs Hopcroft's partition-refinement minimization on a trim DFA.
-// Missing transitions are handled by an implicit dead state that is never
-// emitted.
-func hopcroft(d *FSA) *FSA {
-	n := d.numStates
-	alphabet := d.Alphabet()
-	dead := n // implicit sink
-	total := n + 1
-
-	// Inverse transition function: inv[sym][state] = predecessors.
-	inv := map[Symbol][][]int{}
-	for _, sym := range alphabet {
-		inv[sym] = make([][]int, total)
-	}
-	succ := make([]map[Symbol]int, total)
-	for s := 0; s < n; s++ {
-		succ[s] = map[Symbol]int{}
-		for _, t := range d.out[s] {
-			succ[s][t.Sym] = t.To
-		}
-	}
-	succ[dead] = map[Symbol]int{}
-	for s := 0; s < total; s++ {
-		for _, sym := range alphabet {
-			to, ok := succ[s][sym]
-			if !ok {
-				to = dead
-			}
-			inv[sym][to] = append(inv[sym][to], s)
-		}
-	}
-
-	// Initial partition: finals vs non-finals (dead is non-final).
-	part := make([]int, total) // state -> block index
-	var blocks [][]int
-	var finals, nonfinals []int
-	for s := 0; s < n; s++ {
-		if d.IsFinal(s) {
-			finals = append(finals, s)
-		} else {
-			nonfinals = append(nonfinals, s)
-		}
-	}
-	nonfinals = append(nonfinals, dead)
-	addBlock := func(members []int) int {
-		idx := len(blocks)
-		blocks = append(blocks, members)
-		for _, s := range members {
-			part[s] = idx
-		}
-		return idx
-	}
-	if len(finals) > 0 {
-		addBlock(finals)
-	}
-	addBlock(nonfinals)
-
-	// Worklist of (block, symbol) splitters.
-	type splitter struct {
-		block int
-		sym   Symbol
-	}
-	var work []splitter
-	inWork := map[splitter]bool{}
-	push := func(b int, sym Symbol) {
-		sp := splitter{b, sym}
-		if !inWork[sp] {
-			inWork[sp] = true
-			work = append(work, sp)
-		}
-	}
-	for b := range blocks {
-		for _, sym := range alphabet {
-			push(b, sym)
-		}
-	}
-
-	for len(work) > 0 {
-		sp := work[len(work)-1]
-		work = work[:len(work)-1]
-		inWork[sp] = false
-
-		// X = states with a sym-transition into the splitter block.
-		x := map[int]bool{}
-		for _, s := range blocks[sp.block] {
-			for _, p := range inv[sp.sym][s] {
-				x[p] = true
-			}
-		}
-		if len(x) == 0 {
-			continue
-		}
-		// Split every block that x cuts.
-		affected := map[int]bool{}
-		for s := range x {
-			affected[part[s]] = true
-		}
-		for b := range affected {
-			var in, out []int
-			for _, s := range blocks[b] {
-				if x[s] {
-					in = append(in, s)
-				} else {
-					out = append(out, s)
-				}
-			}
-			if len(in) == 0 || len(out) == 0 {
-				continue
-			}
-			blocks[b] = in
-			nb := addBlock(out)
-			for _, sym := range alphabet {
-				if inWork[splitter{b, sym}] {
-					push(nb, sym)
-				} else if len(in) <= len(out) {
-					push(b, sym)
-				} else {
-					push(nb, sym)
-				}
-			}
-		}
-	}
-
-	// Emit the quotient automaton, skipping the dead block.
-	deadBlock := part[dead]
-	remap := map[int]int{}
-	m := New(0)
-	for b := range blocks {
-		if b == deadBlock {
-			continue
-		}
-		remap[b] = m.AddState()
-	}
-	for s := 0; s < n; s++ {
-		from, ok := remap[part[s]]
-		if !ok {
-			continue
-		}
-		for _, t := range d.out[s] {
-			if to, ok := remap[part[t.To]]; ok {
-				m.Add(from, t.Sym, to)
-			}
-		}
-	}
-	start := d.Starts()[0]
-	if sb, ok := remap[part[start]]; ok {
-		m.SetStart(sb)
-	}
-	for _, f := range d.Finals() {
-		if fb, ok := remap[part[f]]; ok {
-			m.SetFinal(fb)
-		}
-	}
-	return m.Trim()
 }
 
 // MinimizeMoore is a reference implementation of DFA minimization by
@@ -455,13 +300,12 @@ func (a *FSA) EnumerateWords(maxLen, maxCount int) [][]Symbol {
 		if len(it.word) >= maxLen {
 			continue
 		}
-		moves := map[Symbol]map[int]bool{}
+		moves := map[Symbol]bitset{}
 		for _, s := range it.states {
 			for _, t := range e.out[s] {
-				if moves[t.Sym] == nil {
-					moves[t.Sym] = map[int]bool{}
-				}
-				moves[t.Sym][t.To] = true
+				bs := moves[t.Sym]
+				bs.set(t.To)
+				moves[t.Sym] = bs
 			}
 		}
 		syms := make([]Symbol, 0, len(moves))
@@ -471,7 +315,7 @@ func (a *FSA) EnumerateWords(maxLen, maxCount int) [][]Symbol {
 		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
 		for _, sym := range syms {
 			word := append(append([]Symbol(nil), it.word...), sym)
-			queue = append(queue, item{states: sortedKeys(moves[sym]), word: word})
+			queue = append(queue, item{states: moves[sym].members(), word: word})
 		}
 	}
 	return out

@@ -1,0 +1,617 @@
+package fsa
+
+// Dense automaton pipeline: per-automaton symbol-indexed adjacency (CSR),
+// bitset subset construction with an FNV interning table in place of sorted
+// string keys, in-place Hopcroft partition refinement, and the fused
+// reverse→determinize→minimize→reverse chain (MRD) that core.Specialize
+// runs per slice request (Alg. 1 lines 4–8). All scratch is drawn from a
+// pooled arena, so warm requests run the whole chain with near-zero
+// per-request allocation — the same discipline pds.PrestarEngine applies to
+// the Prestar half of the pipeline.
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// pipeArena holds the reusable scratch of one pipeline run: bump-allocated
+// int32/uint64 backing for CSR arrays and bitsets, the subset interner, and
+// the growable worklists. Arenas are borrowed from pipePool per run; the
+// bump offsets reset on borrow while capacities persist, so a warm pipeline
+// re-uses the previous run's memory.
+type pipeArena struct {
+	i32buf []int32
+	i32off int
+	u64buf []uint64
+	u64off int
+
+	symbuf []Symbol // materialized sorted alphabet (valid until next buildAdjacency)
+	work   []int32  // determinize worklist of subset ids / hopcroft splitters
+	cwork  []int32  // closure / trim DFS stack
+	bmem   []int32  // hopcroft: splitter-block member snapshot
+	tbl    []int32  // hopcroft: blocks touched by the current splitter
+
+	touched []int    // determinize: dense symbol indexes hit by a subset
+	symSets []bitset // determinize: per-symbol move accumulation sets
+	symMark []uint64 // determinize: round stamp per symbol
+	round   uint64   // monotone per arena; never reused across runs
+	in      interner
+}
+
+var pipePool = sync.Pool{New: func() any { return &pipeArena{} }}
+
+func getArena() *pipeArena {
+	ar := pipePool.Get().(*pipeArena)
+	ar.i32off, ar.u64off = 0, 0
+	return ar
+}
+
+func putArena(ar *pipeArena) { pipePool.Put(ar) }
+
+// i32 bump-allocates a zeroed []int32. Slices handed out earlier in the same
+// run stay valid (they pin the old backing if it is replaced by growth).
+func (ar *pipeArena) i32(n int) []int32 {
+	if ar.i32off+n > len(ar.i32buf) {
+		c := 2 * len(ar.i32buf)
+		if c < ar.i32off+n {
+			c = ar.i32off + n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		ar.i32buf = make([]int32, c)
+		ar.i32off = 0
+	}
+	s := ar.i32buf[ar.i32off : ar.i32off+n : ar.i32off+n]
+	ar.i32off += n
+	clear(s)
+	return s
+}
+
+// u64 bump-allocates a zeroed []uint64 (a fixed-width bitset).
+func (ar *pipeArena) u64(n int) []uint64 {
+	if ar.u64off+n > len(ar.u64buf) {
+		c := 2 * len(ar.u64buf)
+		if c < ar.u64off+n {
+			c = ar.u64off + n
+		}
+		if c < 256 {
+			c = 256
+		}
+		ar.u64buf = make([]uint64, c)
+		ar.u64off = 0
+	}
+	s := ar.u64buf[ar.u64off : ar.u64off+n : ar.u64off+n]
+	ar.u64off += n
+	clear(s)
+	return s
+}
+
+// symbols materializes the automaton's cached alphabet bitset, sorted. The
+// buffer is shared per arena: the result is valid only until the next
+// buildAdjacency on the same arena.
+func (ar *pipeArena) symbols(a *FSA) []Symbol {
+	out := ar.symbuf[:0]
+	for wi, w := range a.alpha {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			w &^= 1 << uint(i)
+			out = append(out, Symbol(wi<<6+i))
+		}
+	}
+	ar.symbuf = out
+	return out
+}
+
+// interner deduplicates state sets (fixed-width bitsets) during subset
+// construction: an open-addressing table over FNV-hashed set words mapping
+// each distinct set to a dense id — replacing the former sorted
+// "%d,%d,…"-string keys. Set payloads live concatenated in data.
+type interner struct {
+	w     int // words per set
+	n     int
+	data  []uint64
+	table []int32 // set id + 1; 0 means empty
+}
+
+func (in *interner) init(w int) {
+	in.w, in.n = w, 0
+	in.data = in.data[:0]
+	if len(in.table) < 64 {
+		in.table = make([]int32, 64)
+	} else {
+		clear(in.table)
+	}
+}
+
+// fnvWords is FNV-1a folded over 64-bit words.
+func fnvWords(ws []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range ws {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (in *interner) set(id int) bitset {
+	return bitset(in.data[id*in.w : (id+1)*in.w])
+}
+
+// lookupOrAdd interns set, reporting its id and whether it was new. The set
+// is copied, so the caller may keep mutating its scratch buffer.
+func (in *interner) lookupOrAdd(set bitset) (int, bool) {
+	mask := uint64(len(in.table) - 1)
+	i := fnvWords(set) & mask
+	for in.table[i] != 0 {
+		id := int(in.table[i] - 1)
+		if wordsEqual(in.data[id*in.w:(id+1)*in.w], set) {
+			return id, false
+		}
+		i = (i + 1) & mask
+	}
+	id := in.n
+	in.n++
+	in.data = append(in.data, set...)
+	in.table[i] = int32(id + 1)
+	if 4*in.n >= 3*len(in.table) {
+		in.grow()
+	}
+	return id, true
+}
+
+func (in *interner) grow() {
+	old := in.table
+	in.table = make([]int32, 2*len(old))
+	mask := uint64(len(in.table) - 1)
+	for _, v := range old {
+		if v == 0 {
+			continue
+		}
+		id := int(v - 1)
+		i := fnvWords(in.data[id*in.w:(id+1)*in.w]) & mask
+		for in.table[i] != 0 {
+			i = (i + 1) & mask
+		}
+		in.table[i] = v
+	}
+}
+
+func wordsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// adjacency is the symbol-indexed dense view of an automaton, built once
+// per pipeline stage: per-state non-epsilon out-transitions in CSR form
+// with symbols renumbered to dense indexes 0..k-1 (sorted symbol order),
+// plus a separate epsilon CSR. With reversed=true it indexes the reversed
+// automaton without materializing it.
+type adjacency struct {
+	n        int
+	syms     []Symbol // sorted distinct non-epsilon symbols
+	start    []int32  // len n+1: CSR offsets into tsym/tto
+	tsym     []int32  // dense symbol index per transition
+	tto      []int32
+	epsStart []int32 // len n+1
+	epsTo    []int32
+	hasEps   bool
+}
+
+func buildAdjacency(a *FSA, reversed bool, ar *pipeArena) adjacency {
+	n := a.numStates
+	adj := adjacency{n: n, syms: ar.symbols(a)}
+	symIdx := ar.i32(64 * len(a.alpha)) // symbol -> dense index + 1
+	for i, s := range adj.syms {
+		symIdx[s] = int32(i + 1)
+	}
+	adj.start = ar.i32(n + 1)
+	adj.epsStart = ar.i32(n + 1)
+	for from, ts := range a.out {
+		for _, t := range ts {
+			src := from
+			if reversed {
+				src = t.To
+			}
+			if t.Sym == Epsilon {
+				adj.epsStart[src+1]++
+			} else {
+				adj.start[src+1]++
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		adj.start[s+1] += adj.start[s]
+		adj.epsStart[s+1] += adj.epsStart[s]
+	}
+	m, me := int(adj.start[n]), int(adj.epsStart[n])
+	adj.tsym = ar.i32(m)
+	adj.tto = ar.i32(m)
+	adj.epsTo = ar.i32(me)
+	adj.hasEps = me > 0
+	cur := ar.i32(n)
+	cure := ar.i32(n)
+	copy(cur, adj.start[:n])
+	copy(cure, adj.epsStart[:n])
+	for from, ts := range a.out {
+		for _, t := range ts {
+			src, dst := from, t.To
+			if reversed {
+				src, dst = t.To, from
+			}
+			if t.Sym == Epsilon {
+				adj.epsTo[cure[src]] = int32(dst)
+				cure[src]++
+			} else {
+				adj.tsym[cur[src]] = symIdx[t.Sym] - 1
+				adj.tto[cur[src]] = int32(dst)
+				cur[src]++
+			}
+		}
+	}
+	return adj
+}
+
+// closure expands set across epsilon transitions, in place.
+func (adj *adjacency) closure(set bitset, ar *pipeArena) {
+	if !adj.hasEps {
+		return
+	}
+	work := ar.cwork[:0]
+	for wi, w := range set {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			w &^= 1 << uint(i)
+			work = append(work, int32(wi<<6+i))
+		}
+	}
+	for len(work) > 0 {
+		s := int(work[len(work)-1])
+		work = work[:len(work)-1]
+		for j := adj.epsStart[s]; j < adj.epsStart[s+1]; j++ {
+			t := adj.epsTo[j]
+			if set[t>>6]&(1<<(uint(t)&63)) == 0 {
+				set[t>>6] |= 1 << (uint(t) & 63)
+				work = append(work, t)
+			}
+		}
+	}
+	ar.cwork = work[:0]
+}
+
+// Determinize performs the subset construction, returning a deterministic
+// automaton (single start state, no epsilon transitions, at most one
+// transition per (state, symbol)). Missing transitions mean rejection.
+func (a *FSA) Determinize() *FSA {
+	ar := getArena()
+	defer putArena(ar)
+	adj := buildAdjacency(a, false, ar)
+	return determinize(&adj, a.starts, a.finals, ar)
+}
+
+// determinize is the bitset subset construction over a prebuilt adjacency:
+// subsets are fixed-width bitsets deduplicated through the FNV interner,
+// and the per-symbol move sets are arena bitsets reused across subsets.
+// starts/finals are read against adj (so a reversed adjacency passes the
+// original finals as starts and vice versa).
+func determinize(adj *adjacency, starts, finals bitset, ar *pipeArena) *FSA {
+	w := bitsWords(adj.n)
+	ar.in.init(w)
+	k := len(adj.syms)
+	for len(ar.symSets) < k {
+		ar.symSets = append(ar.symSets, nil)
+	}
+	for len(ar.symMark) < k {
+		ar.symMark = append(ar.symMark, 0)
+	}
+
+	cur := bitset(ar.u64(w))
+	copy(cur, starts)
+	adj.closure(cur, ar)
+	ar.in.lookupOrAdd(cur) // id 0
+	d := New(1)
+	d.SetStart(0)
+	if cur.intersects(finals) {
+		d.SetFinal(0)
+	}
+	work := append(ar.work[:0], 0)
+	touched := ar.touched[:0]
+
+	for len(work) > 0 {
+		curID := int(work[len(work)-1])
+		work = work[:len(work)-1]
+		ar.round++
+		touched = touched[:0]
+		// Bucket the subset's moves by dense symbol index. The interned
+		// payload is only read here, before lookupOrAdd can grow data.
+		set := ar.in.set(curID)
+		for wi, wd := range set {
+			for wd != 0 {
+				i := bits.TrailingZeros64(wd)
+				wd &^= 1 << uint(i)
+				s := wi<<6 + i
+				for j := adj.start[s]; j < adj.start[s+1]; j++ {
+					si := adj.tsym[j]
+					ss := ar.symSets[si]
+					if ar.symMark[si] != ar.round {
+						ar.symMark[si] = ar.round
+						touched = append(touched, int(si))
+						if len(ss) < w {
+							ss = make(bitset, w)
+							ar.symSets[si] = ss
+						} else {
+							clear(ss[:w])
+						}
+					}
+					to := adj.tto[j]
+					ss[to>>6] |= 1 << (uint(to) & 63)
+				}
+			}
+		}
+		sort.Ints(touched)
+		for _, si := range touched {
+			next := ar.symSets[si][:w]
+			adj.closure(next, ar)
+			id, isNew := ar.in.lookupOrAdd(next)
+			if isNew {
+				ns := d.AddState()
+				if next.intersects(finals) {
+					d.SetFinal(ns)
+				}
+				work = append(work, int32(id))
+			}
+			d.Add(curID, adj.syms[si], id)
+		}
+	}
+	ar.work = work[:0]
+	ar.touched = touched[:0]
+	return d
+}
+
+// hopcroft runs Hopcroft's partition-refinement minimization on a trim DFA,
+// on dense structures: a flat successor array, per-symbol inverse-CSR, and
+// in-place partition refinement over a state permutation. Missing
+// transitions are handled by an implicit dead state that is never emitted.
+func hopcroft(d *FSA) *FSA {
+	ar := getArena()
+	defer putArena(ar)
+	return hopcroftWith(d, ar)
+}
+
+func hopcroftWith(d *FSA, ar *pipeArena) *FSA {
+	n := d.numStates
+	adj := buildAdjacency(d, false, ar)
+	k := len(adj.syms)
+	dead := n
+	total := n + 1
+
+	// succ[s*k+si] = successor+1; 0 means the implicit dead state.
+	succ := ar.i32(total * k)
+	for s := 0; s < n; s++ {
+		for j := adj.start[s]; j < adj.start[s+1]; j++ {
+			succ[s*k+int(adj.tsym[j])] = adj.tto[j] + 1
+		}
+	}
+	// Inverse CSR over (symbol, target): every (state, symbol) pair
+	// contributes one predecessor entry (missing transitions target dead).
+	invStart := ar.i32(k*total + 1)
+	for s := 0; s < total; s++ {
+		for si := 0; si < k; si++ {
+			to := dead
+			if s < n {
+				if v := succ[s*k+si]; v != 0 {
+					to = int(v - 1)
+				}
+			}
+			invStart[si*total+to+1]++
+		}
+	}
+	for i := 1; i <= k*total; i++ {
+		invStart[i] += invStart[i-1]
+	}
+	invPred := ar.i32(total * k)
+	invCur := ar.i32(k * total)
+	copy(invCur, invStart[:k*total])
+	for s := 0; s < total; s++ {
+		for si := 0; si < k; si++ {
+			to := dead
+			if s < n {
+				if v := succ[s*k+si]; v != 0 {
+					to = int(v - 1)
+				}
+			}
+			invPred[invCur[si*total+to]] = int32(s)
+			invCur[si*total+to]++
+		}
+	}
+
+	// Partition refinement state: elems is a permutation of the states,
+	// grouped by block; each block is elems[first:end) with its marked
+	// members in elems[first:mid).
+	elems := ar.i32(total)
+	pos := ar.i32(total)
+	blk := ar.i32(total)
+	first := ar.i32(total)
+	mid := ar.i32(total)
+	end := ar.i32(total)
+	nf := d.finals.count()
+	i, j := 0, nf
+	for s := 0; s < n; s++ {
+		if d.finals.get(s) {
+			elems[i] = int32(s)
+			i++
+		} else {
+			elems[j] = int32(s)
+			j++
+		}
+	}
+	elems[j] = int32(dead)
+	for e := 0; e < total; e++ {
+		pos[elems[e]] = int32(e)
+	}
+	nb := 0
+	addInit := func(lo, hi int) {
+		first[nb], mid[nb], end[nb] = int32(lo), int32(lo), int32(hi)
+		for e := lo; e < hi; e++ {
+			blk[elems[e]] = int32(nb)
+		}
+		nb++
+	}
+	if nf > 0 {
+		addInit(0, nf)
+	}
+	addInit(nf, total)
+
+	// Worklist of (block, symbol) splitters, encoded block*k+symbol.
+	inWork := bitset(ar.u64(bitsWords(total * k)))
+	work := ar.work[:0]
+	push := func(b, si int) {
+		sp := b*k + si
+		if inWork[sp>>6]&(1<<(uint(sp)&63)) == 0 {
+			inWork[sp>>6] |= 1 << (uint(sp) & 63)
+			work = append(work, int32(sp))
+		}
+	}
+	for b := 0; b < nb; b++ {
+		for si := 0; si < k; si++ {
+			push(b, si)
+		}
+	}
+
+	for len(work) > 0 {
+		sp := int(work[len(work)-1])
+		work = work[:len(work)-1]
+		inWork[sp>>6] &^= 1 << (uint(sp) & 63)
+		bsp, si := sp/k, sp%k
+
+		// Snapshot the splitter block: marking permutes elems, possibly
+		// within this very block.
+		bm := ar.bmem[:0]
+		for e := first[bsp]; e < end[bsp]; e++ {
+			bm = append(bm, elems[e])
+		}
+		// Mark every state with a si-transition into the splitter block.
+		tb := ar.tbl[:0]
+		for _, qe := range bm {
+			row := si*total + int(qe)
+			for x := invStart[row]; x < invStart[row+1]; x++ {
+				p := invPred[x]
+				pb := blk[p]
+				if pos[p] < mid[pb] {
+					continue // already marked
+				}
+				if mid[pb] == first[pb] {
+					tb = append(tb, pb)
+				}
+				mp, pe := mid[pb], pos[p]
+				o := elems[mp]
+				elems[mp], elems[pe] = p, o
+				pos[p], pos[o] = mp, pe
+				mid[pb] = mp + 1
+			}
+		}
+		ar.bmem = bm[:0]
+		// Split every block the marks cut.
+		for _, pbv := range tb {
+			pb := int(pbv)
+			szIn := int(mid[pb] - first[pb])
+			szOut := int(end[pb] - mid[pb])
+			if szOut == 0 {
+				mid[pb] = first[pb]
+				continue
+			}
+			// The marked part keeps block id pb; the unmarked tail becomes
+			// a new block.
+			newb := nb
+			nb++
+			first[newb], mid[newb], end[newb] = mid[pb], mid[pb], end[pb]
+			end[pb], mid[pb] = first[newb], first[pb]
+			for e := first[newb]; e < end[newb]; e++ {
+				blk[elems[e]] = int32(newb)
+			}
+			for s2 := 0; s2 < k; s2++ {
+				if spb := pb*k + s2; inWork[spb>>6]&(1<<(uint(spb)&63)) != 0 {
+					push(newb, s2)
+				} else if szIn <= szOut {
+					push(pb, s2)
+				} else {
+					push(newb, s2)
+				}
+			}
+		}
+		ar.tbl = tb[:0]
+	}
+	ar.work = work[:0]
+
+	// Emit the quotient automaton, skipping the dead block.
+	deadBlock := blk[dead]
+	remap := ar.i32(nb) // block -> state + 1
+	m := New(0)
+	for b := 0; b < nb; b++ {
+		if int32(b) != deadBlock {
+			remap[b] = int32(m.AddState()) + 1
+		}
+	}
+	m.Reserve(d.index.n)
+	for s := 0; s < n; s++ {
+		fb := remap[blk[s]]
+		if fb == 0 {
+			continue
+		}
+		for j := adj.start[s]; j < adj.start[s+1]; j++ {
+			if tbv := remap[blk[adj.tto[j]]]; tbv != 0 {
+				m.Add(int(fb-1), adj.syms[adj.tsym[j]], int(tbv-1))
+			}
+		}
+	}
+	if sbv := remap[blk[d.Starts()[0]]]; sbv != 0 {
+		m.SetStart(int(sbv - 1))
+	}
+	for _, f := range d.Finals() {
+		if fbv := remap[blk[f]]; fbv != 0 {
+			m.SetFinal(int(fbv - 1))
+		}
+	}
+	return m.Trim()
+}
+
+// MRDStats reports the fused pipeline's sub-phase breakdown (the automaton
+// share of the paper's Fig. 21 timings).
+type MRDStats struct {
+	// DetStates is the state count of the reversed automaton's DFA before
+	// trimming — the §4.2 "determinize shrinks in practice" observable.
+	DetStates   int
+	Determinize time.Duration
+	Minimize    time.Duration
+}
+
+// MRD computes the minimal reverse-deterministic automaton of a — the
+// fused reverse → determinize → minimize → reverse chain of Alg. 1 lines
+// 4–8. The reversal is folded into the subset construction's adjacency
+// (the reversed automaton is never materialized), the minimal DFA is
+// already epsilon-free so no epsilon-removal pass runs, and both stages
+// share one scratch arena.
+func MRD(a *FSA) (*FSA, MRDStats) {
+	var st MRDStats
+	ar := getArena()
+	defer putArena(ar)
+	t0 := time.Now()
+	radj := buildAdjacency(a, true, ar)
+	d := determinize(&radj, a.finals, a.starts, ar)
+	st.DetStates = d.NumStates()
+	st.Determinize = time.Since(t0)
+	t1 := time.Now()
+	d = d.Trim()
+	m := d
+	if d.NumStates() > 0 {
+		m = hopcroftWith(d, ar)
+	}
+	st.Minimize = time.Since(t1)
+	return m.Reverse(), st
+}

@@ -1,0 +1,257 @@
+package fsa
+
+// Differential tests for the dense automaton pipeline: the former
+// map[int]bool / sorted-string-key implementations of the subset
+// construction live on here as reference oracles (together with
+// MinimizeMoore in ops.go), and the dense bitset Determinize / Hopcroft
+// Minimize / fused MRD chain are checked against them on random NFAs —
+// including automata with epsilon transitions and ≥ 64 states, so subsets
+// span more than one bitset word.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// boolSet, sortedKeys, setKey, anyFinal, and the epsilon closure over
+// map-based state sets are the retired production helpers, verbatim.
+
+func boolSet(xs []int) map[int]bool {
+	m := map[int]bool{}
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func setKey(set map[int]bool) string {
+	xs := sortedKeys(set)
+	var sb strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%d,", x)
+	}
+	return sb.String()
+}
+
+func anyFinal(a *FSA, set map[int]bool) bool {
+	for s := range set {
+		if a.IsFinal(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func mapEpsClosure(a *FSA, set map[int]bool) map[int]bool {
+	work := make([]int, 0, len(set))
+	for s := range set {
+		work = append(work, s)
+	}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range a.out[s] {
+			if t.Sym == Epsilon && !set[t.To] {
+				set[t.To] = true
+				work = append(work, t.To)
+			}
+		}
+	}
+	return set
+}
+
+// referenceDeterminize is the retired map-based subset construction. It
+// explores subsets in the same order as the dense implementation (LIFO
+// worklist, symbols in sorted order), so the two must produce structurally
+// identical DFAs, not merely language-equal ones.
+func referenceDeterminize(a *FSA) *FSA {
+	start := mapEpsClosure(a, boolSet(a.Starts()))
+	key := setKey(start)
+	index := map[string]int{key: 0}
+	sets := []map[int]bool{start}
+	d := New(1)
+	if anyFinal(a, start) {
+		d.SetFinal(0)
+	}
+	d.SetStart(0)
+	work := []int{0}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		moves := map[Symbol]map[int]bool{}
+		for s := range sets[cur] {
+			for _, t := range a.out[s] {
+				if t.Sym == Epsilon {
+					continue
+				}
+				if moves[t.Sym] == nil {
+					moves[t.Sym] = map[int]bool{}
+				}
+				moves[t.Sym][t.To] = true
+			}
+		}
+		syms := make([]Symbol, 0, len(moves))
+		for s := range moves {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, sym := range syms {
+			next := mapEpsClosure(a, moves[sym])
+			k := setKey(next)
+			idx, ok := index[k]
+			if !ok {
+				idx = d.AddState()
+				index[k] = idx
+				sets = append(sets, next)
+				if anyFinal(a, next) {
+					d.SetFinal(idx)
+				}
+				work = append(work, idx)
+			}
+			d.Add(cur, sym, idx)
+		}
+	}
+	return d
+}
+
+// randomWideNFA builds an NFA with 64–96 states (subsets cross the one-word
+// bitset boundary), a handful of symbols, and a healthy epsilon share. It is
+// kept sparse (~2 transitions per state) so the reference subset
+// construction stays tractable across hundreds of iterations.
+func randomWideNFA(rng *rand.Rand) *FSA {
+	n := 64 + rng.Intn(33)
+	a := New(n)
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		a.SetStart(rng.Intn(n))
+	}
+	nsym := 3 + rng.Intn(4)
+	for i := 0; i < 2*n; i++ {
+		sym := Symbol(rng.Intn(nsym))
+		if rng.Intn(6) == 0 {
+			sym = Epsilon
+		}
+		a.Add(rng.Intn(n), sym, rng.Intn(n))
+	}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		a.SetFinal(rng.Intn(n))
+	}
+	return a
+}
+
+func sameFSA(a, b *FSA) error {
+	if a.NumStates() != b.NumStates() {
+		return fmt.Errorf("state counts differ: %d vs %d", a.NumStates(), b.NumStates())
+	}
+	as, bs := a.Starts(), b.Starts()
+	if fmt.Sprint(as) != fmt.Sprint(bs) {
+		return fmt.Errorf("start sets differ: %v vs %v", as, bs)
+	}
+	af, bf := a.Finals(), b.Finals()
+	if fmt.Sprint(af) != fmt.Sprint(bf) {
+		return fmt.Errorf("final sets differ: %v vs %v", af, bf)
+	}
+	at, bt := a.Transitions(), b.Transitions()
+	if len(at) != len(bt) {
+		return fmt.Errorf("transition counts differ: %d vs %d", len(at), len(bt))
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			return fmt.Errorf("transition %d differs: %v vs %v", i, at[i], bt[i])
+		}
+	}
+	return nil
+}
+
+// TestDenseDeterminizeMatchesReference pits the bitset subset construction
+// against the retired map-based one on ≥ 200 wide random NFAs, demanding
+// structural identity.
+func TestDenseDeterminizeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140611))
+	for iter := 0; iter < 220; iter++ {
+		a := randomWideNFA(rng)
+		dense := a.Determinize()
+		ref := referenceDeterminize(a)
+		if err := sameFSA(dense, ref); err != nil {
+			t.Fatalf("iter %d: dense vs reference determinize: %v", iter, err)
+		}
+		if !dense.IsDeterministic() {
+			t.Fatalf("iter %d: dense result is not deterministic", iter)
+		}
+	}
+}
+
+// TestDenseMinimizeMatchesMooreWide checks the dense Hopcroft against the
+// map-based Moore oracle on wide automata: the minimal DFA is unique up to
+// renaming, so state/transition counts must agree and the languages must be
+// equal.
+func TestDenseMinimizeMatchesMooreWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		a := randomWideNFA(rng)
+		h := a.Minimize()
+		m := a.MinimizeMoore()
+		if h.NumStates() != m.NumStates() {
+			t.Fatalf("iter %d: hopcroft %d states, moore %d", iter, h.NumStates(), m.NumStates())
+		}
+		if h.NumTransitions() != m.NumTransitions() {
+			t.Fatalf("iter %d: hopcroft %d transitions, moore %d", iter, h.NumTransitions(), m.NumTransitions())
+		}
+		if !Equal(h, m) {
+			t.Fatalf("iter %d: hopcroft and moore languages differ", iter)
+		}
+	}
+}
+
+// TestMRDMatchesComposedChain checks the fused MRD pipeline against the
+// composed one it replaces, including the reported pre-trim DFA size.
+func TestMRDMatchesComposedChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		a := randomWideNFA(rng)
+		fused, st := MRD(a)
+		rev := a.Reverse()
+		det := rev.Determinize()
+		if st.DetStates != det.NumStates() {
+			t.Fatalf("iter %d: MRD reports %d det states, composed %d", iter, st.DetStates, det.NumStates())
+		}
+		composed := det.Minimize().Reverse().RemoveEpsilon()
+		if err := sameFSA(fused, composed); err != nil {
+			t.Fatalf("iter %d: fused vs composed MRD: %v", iter, err)
+		}
+	}
+}
+
+// TestAlphabetTracksAdd verifies the incremental alphabet cache: Alphabet
+// reflects every Add immediately, stays sorted, and ignores epsilon.
+func TestAlphabetTracksAdd(t *testing.T) {
+	a := New(3)
+	if got := a.Alphabet(); len(got) != 0 {
+		t.Fatalf("fresh automaton alphabet = %v, want empty", got)
+	}
+	a.Add(0, 7, 1)
+	a.Add(1, Epsilon, 2)
+	a.Add(1, 3, 2)
+	if got := fmt.Sprint(a.Alphabet()); got != "[3 7]" {
+		t.Fatalf("alphabet = %v, want [3 7]", got)
+	}
+	a.Add(2, 100, 0) // crosses into a later bitset word
+	if got := fmt.Sprint(a.Alphabet()); got != "[3 7 100]" {
+		t.Fatalf("alphabet after Add = %v, want [3 7 100]", got)
+	}
+	a.Add(2, 100, 0) // duplicate: no change
+	if got := fmt.Sprint(a.Alphabet()); got != "[3 7 100]" {
+		t.Fatalf("alphabet after duplicate Add = %v", got)
+	}
+}
