@@ -7,6 +7,7 @@
 //	specslice -mode weiser -criterion printf file.mc
 //	specslice -mode feature -criterion stmt:main:"prod = 1" file.mc
 //	specslice -criteria "printf:main;line:17;line:23" -workers 4 file.mc
+//	specslice serve -addr :8080
 //
 // Modes: poly (specialization slicing, the paper's Alg. 1), mono (Binkley's
 // monovariant executable slicing), weiser (Weiser-style baseline), feature
@@ -18,20 +19,66 @@
 // edges built once) across -workers parallel workers; each slice is printed
 // with a "// === slice" header, and per-request failures are reported to
 // stderr without aborting the batch.
+//
+// The serve subcommand runs the HTTP/JSON slicing service (POST /v1/slice,
+// GET /v1/stats, GET /healthz) backed by a content-addressed engine cache;
+// see internal/server and the README's Serving section.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"specslice"
+	"specslice/internal/server"
 )
 
+// serve runs the HTTP slicing service until SIGINT/SIGTERM, then drains
+// in-flight requests.
+func serve(args []string) {
+	fs := flag.NewFlagSet("specslice serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheEntries := fs.Int("cache-entries", 64, "engine cache entry budget (<0 = unbounded)")
+	cacheMB := fs.Int64("cache-mb", 512, "engine cache byte budget in MiB (<0 = unbounded)")
+	maxProgramKB := fs.Int64("max-program-kb", 1024, "largest accepted program source in KiB")
+	maxCriteria := fs.Int("max-criteria", 256, "largest accepted criterion batch")
+	workers := fs.Int("workers", 0, "per-batch worker-pool size (0 = GOMAXPROCS)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: specslice serve [flags]")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		CacheMaxEntries: *cacheEntries,
+		CacheMaxBytes:   *cacheMB << 20,
+		MaxProgramBytes: *maxProgramKB << 10,
+		MaxCriteria:     *maxCriteria,
+		Workers:         *workers,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("specslice: serving on %s (cache: %d entries, %d MiB)", *addr, *cacheEntries, *cacheMB)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fatal(err)
+	}
+	log.Printf("specslice: drained, bye")
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
+		return
+	}
 	mode := flag.String("mode", "poly", "poly | mono | weiser | feature")
 	criterion := flag.String("criterion", "printf", `criterion: "printf[:proc]", "line:N", or "stmt:proc:label"`)
 	criteria := flag.String("criteria", "", `batch mode: semicolon-separated criteria served through one engine`)

@@ -10,17 +10,21 @@ import (
 	"specslice/internal/sdg"
 )
 
-// Timings records where the algorithm spent its time (paper Fig. 21).
+// Timings records where the algorithm spent its time (paper Fig. 21). The
+// JSON tags fix the canonical wire names of the phases (durations marshal
+// as integer nanoseconds); the serving layer's public mirror,
+// specslice.Timings, must use the same names — a test asserts the two
+// stay in sync, so rename fields in both places or neither.
 type Timings struct {
-	Encode       time.Duration
-	Prestar      time.Duration
-	AutomatonOps time.Duration // fused reverse/determinize/minimize/reverse chain
-	Readout      time.Duration
-	Total        time.Duration
+	Encode       time.Duration `json:"encode_ns"`
+	Prestar      time.Duration `json:"prestar_ns"`
+	AutomatonOps time.Duration `json:"automaton_ns"` // fused reverse/determinize/minimize/reverse chain
+	Readout      time.Duration `json:"readout_ns"`
+	Total        time.Duration `json:"total_ns"`
 
 	// Sub-phases of AutomatonOps, as reported by the fused fsa.MRD chain.
-	AutomatonDeterminize time.Duration
-	AutomatonMinimize    time.Duration
+	AutomatonDeterminize time.Duration `json:"determinize_ns"`
+	AutomatonMinimize    time.Duration `json:"minimize_ns"`
 }
 
 // Add accumulates o into t (batch aggregation of per-request timings).

@@ -88,6 +88,17 @@ func Program(src *sdg.Graph, variants []core.ProcVariant) (*lang.Program, error)
 	return e.out, nil
 }
 
+// Source emits the variants and renders them as MicroC source text in one
+// step — the path behind specslice.Slice.Source, which the HTTP service
+// uses to return slice text to clients.
+func Source(src *sdg.Graph, variants []core.ProcVariant) (string, error) {
+	out, err := Program(src, variants)
+	if err != nil {
+		return "", err
+	}
+	return lang.Print(out), nil
+}
+
 type emitter struct {
 	src          *sdg.Graph
 	out          *lang.Program

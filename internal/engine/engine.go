@@ -100,6 +100,43 @@ func (e *Engine) RemoveFeature(criterion []sdg.VertexID) (*core.Result, error) {
 	return feature.RemoveWithEncoding(e.g, e.Encoding(), criterion)
 }
 
+// Footprint estimates, in bytes, the heap retained by the engine's cached
+// analysis state: the SDG itself, the PDS encoding with its Prestar rule
+// indexes, and the reachable-configuration automaton. The caches are built
+// first (Warm) so the estimate is stable; a program whose warm fails (e.g.
+// no reachable configurations) is still accounted for its graph and
+// encoding. The per-element constants are deliberately coarse — the number
+// exists so content-addressed engine caches can evict by an additive byte
+// budget, not for profiling.
+func (e *Engine) Footprint() int64 {
+	_ = e.Warm()
+	const (
+		vertexBytes = 176 // *Vertex + struct + out/in adjacency headers
+		edgeBytes   = 72  // out copy + in copy + dedup-set key
+		siteBytes   = 176 // *Site + struct
+		procBytes   = 176 // *Proc + struct
+		idBytes     = 8   // one VertexID/SiteID slot in a slice
+		ruleBytes   = 152 // Rule + its copy in a Prestar index bucket
+		locBytes    = 96  // LocOfFO entry + per-location bookkeeping
+		stateBytes  = 48  // out slice header + bitset slots
+		transBytes  = 56  // out entry + dedup index entry
+	)
+	g := e.g
+	n := int64(g.NumVertices())*vertexBytes + int64(g.NumEdges())*edgeBytes
+	for _, s := range g.Sites {
+		n += siteBytes + int64(len(s.ActualIns)+len(s.ActualOuts))*idBytes
+	}
+	for _, p := range g.Procs {
+		n += procBytes + int64(len(p.Vertices)+len(p.FormalIns)+len(p.FormalOuts)+len(p.Sites))*idBytes
+	}
+	enc := e.Encoding()
+	n += int64(len(enc.PDS.Rules))*ruleBytes + int64(len(enc.LocOfFO))*locBytes
+	if reach, err := enc.Reachable(); err == nil {
+		n += int64(reach.NumStates())*stateBytes + int64(reach.NumTransitions())*transBytes
+	}
+	return n
+}
+
 // Mode selects the slicer a batch request runs.
 type Mode int
 

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"specslice/internal/core"
+	"specslice/internal/lang"
+	"specslice/internal/sdg"
+	"specslice/internal/workload"
+)
+
+func buildEngine(t *testing.T, src string) *Engine {
+	t.Helper()
+	g, err := sdg.Build(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g)
+}
+
+func printfSpec(t *testing.T, g *sdg.Graph, proc string) core.CriterionSpec {
+	t.Helper()
+	vs := core.PrintfCriterion(g, proc)
+	if len(vs) == 0 {
+		t.Fatalf("no printf criterion in %q", proc)
+	}
+	var cfgs core.Configs
+	for _, v := range vs {
+		cfgs = append(cfgs, core.Config{Vertex: v})
+	}
+	return cfgs
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	small := buildEngine(t, workload.Fig1Source)
+	f1 := small.Footprint()
+	if f1 <= 0 {
+		t.Fatalf("footprint = %d, want > 0", f1)
+	}
+	if f2 := small.Footprint(); f2 != f1 {
+		t.Errorf("footprint not stable: %d then %d", f1, f2)
+	}
+
+	big := buildEngine(t, workload.GenerateSource(workload.BenchConfig{
+		Name: "fp", Procs: 12, TargetVertices: 600, CallSites: 40, Slices: 4, Seed: 7,
+	}))
+	fb := big.Footprint()
+	if fb <= f1 {
+		t.Errorf("bigger program has footprint %d <= small %d", fb, f1)
+	}
+	// The estimate must at least cover the raw graph payload it claims to
+	// account (sanity floor: one pointer per vertex and edge).
+	g := big.Graph()
+	if fb < int64(g.NumVertices()+g.NumEdges())*8 {
+		t.Errorf("footprint %d implausibly small for %d vertices / %d edges",
+			fb, g.NumVertices(), g.NumEdges())
+	}
+}
+
+// TestFootprintConcurrent checks Footprint is safe alongside slicing (it
+// warms the same sync.Once caches). Run under -race.
+func TestFootprintConcurrent(t *testing.T) {
+	eng := buildEngine(t, workload.Fig16Source)
+	spec := printfSpec(t, eng.Graph(), "main")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if eng.Footprint() <= 0 {
+				t.Error("footprint <= 0")
+			}
+			if _, err := eng.Specialize(spec); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSliceAllErrorPaths(t *testing.T) {
+	eng := buildEngine(t, workload.Fig16Source)
+	g := eng.Graph()
+	preset := errors.New("criterion resolution failed upstream")
+	reqs := []Request{
+		{Label: "ok-poly", Mode: ModePoly, Spec: printfSpec(t, g, "main")},
+		{Label: "upstream", Err: preset},
+		{Label: "no-spec", Mode: ModePoly},
+		{Label: "bad-mode", Mode: Mode(42)},
+		{Label: "ok-mono", Mode: ModeMono, Vertices: core.PrintfCriterion(g, "main")},
+	}
+	resps, stats := eng.SliceAll(reqs, BatchOptions{Workers: 4})
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses, want %d", len(resps), len(reqs))
+	}
+	for i, r := range resps {
+		if r.Index != i || r.Label != reqs[i].Label {
+			t.Errorf("response %d out of order: %+v", i, r)
+		}
+	}
+	if resps[0].Err != nil || resps[0].Poly == nil {
+		t.Errorf("ok-poly: %+v", resps[0])
+	}
+	if !errors.Is(resps[1].Err, preset) {
+		t.Errorf("upstream error not forwarded: %v", resps[1].Err)
+	}
+	if resps[2].Err == nil || !strings.Contains(resps[2].Err.Error(), "no criterion spec") {
+		t.Errorf("no-spec: %v", resps[2].Err)
+	}
+	if resps[3].Err == nil || !strings.Contains(resps[3].Err.Error(), "unknown mode") {
+		t.Errorf("bad-mode: %v", resps[3].Err)
+	}
+	if resps[4].Err != nil || resps[4].Mono == nil {
+		t.Errorf("ok-mono: %+v", resps[4])
+	}
+	if stats.Requests != 5 || stats.Failed != 3 {
+		t.Errorf("stats = %+v, want 5 requests / 3 failed", stats)
+	}
+	if stats.Phases.Total <= 0 {
+		t.Errorf("phases not aggregated from the poly request: %+v", stats.Phases)
+	}
+}
+
+func TestSliceAllEmptyAndOversizedPool(t *testing.T) {
+	eng := buildEngine(t, workload.Fig1Source)
+	if resps, stats := eng.SliceAll(nil, BatchOptions{}); resps != nil || stats.Requests != 0 {
+		t.Errorf("empty batch: %v %+v", resps, stats)
+	}
+	// More workers than requests must clamp, not deadlock.
+	reqs := []Request{{Label: "one", Mode: ModePoly, Spec: printfSpec(t, eng.Graph(), "main")}}
+	resps, stats := eng.SliceAll(reqs, BatchOptions{Workers: 64})
+	if resps[0].Err != nil || stats.Workers != 1 {
+		t.Errorf("oversized pool: err=%v workers=%d", resps[0].Err, stats.Workers)
+	}
+}
+
+// TestSliceAllConcurrentCallers hammers one engine with whole batches from
+// many goroutines (the serving pattern: each HTTP request is a SliceAll).
+// Run under -race.
+func TestSliceAllConcurrentCallers(t *testing.T) {
+	eng := buildEngine(t, workload.Fig16Source)
+	g := eng.Graph()
+	spec := printfSpec(t, g, "main")
+	verts := core.PrintfCriterion(g, "main")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqs := []Request{
+				{Label: "poly", Mode: ModePoly, Spec: spec},
+				{Label: "mono", Mode: ModeMono, Vertices: verts},
+				{Label: "weiser", Mode: ModeWeiser, Vertices: verts},
+				{Label: "broken", Mode: ModePoly}, // no spec
+			}
+			resps, stats := eng.SliceAll(reqs, BatchOptions{Workers: 1 + i%4})
+			if stats.Failed != 1 {
+				t.Errorf("caller %d: failed = %d, want 1", i, stats.Failed)
+			}
+			for j := 0; j < 3; j++ {
+				if resps[j].Err != nil {
+					t.Errorf("caller %d req %d: %v", i, j, resps[j].Err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,180 @@
+// Package server exposes the batch-slicing engine as a long-running
+// HTTP/JSON service: clients POST program sources plus batches of slicing
+// criteria and receive specialized programs with per-phase timings. Engines
+// are content-addressed — programs are hashed after lang normalization, so
+// textually different but normalization-equivalent sources share one warmed
+// engine — and held in an LRU bounded by an entry count and a byte budget
+// (engine.Footprint). Concurrent requests for a program not yet cached are
+// deduplicated: one request builds, the rest wait for the same engine.
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"specslice"
+)
+
+// ContentKey returns the cache key of a program: the hex SHA-256 of its
+// lang-normalized source text. Callers hash prog.Source() of a parsed
+// program, never the raw request text, so whitespace, comments, and
+// normalization temporaries do not fragment the cache.
+func ContentKey(normalizedSource string) string {
+	sum := sha256.Sum256([]byte(normalizedSource))
+	return hex.EncodeToString(sum[:])
+}
+
+// CacheStats is a snapshot of the engine cache's counters. The counters
+// satisfy Hits+Misses == lookups and Builds+BuildErrors+Deduped == Misses,
+// which the server load test asserts under concurrency.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Deduped     int64 `json:"builds_deduped"` // misses that joined an in-flight build
+	Builds      int64 `json:"builds"`         // completed engine builds
+	BuildErrors int64 `json:"build_errors"`
+	Evictions   int64 `json:"evictions"`
+	InFlight    int64 `json:"in_flight_builds"` // gauge
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+}
+
+// EngineCache is a content-addressed LRU of warmed slicing engines.
+type EngineCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	building map[string]*buildCall
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key   string
+	eng   *specslice.Engine
+	bytes int64
+}
+
+// buildCall is the singleflight cell for one in-flight engine build.
+type buildCall struct {
+	done chan struct{}
+	eng  *specslice.Engine
+	err  error
+}
+
+// NewEngineCache returns a cache evicting past maxEntries entries or
+// maxBytes total estimated engine bytes; a zero or negative limit disables
+// that bound.
+func NewEngineCache(maxEntries int, maxBytes int64) *EngineCache {
+	return &EngineCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    map[string]*list.Element{},
+		lru:        list.New(),
+		building:   map[string]*buildCall{},
+	}
+}
+
+// Get returns the engine cached under key, building it with build on a
+// miss. Build runs outside the cache lock; concurrent misses on one key
+// share a single build. Build errors are returned to every waiter and are
+// not cached — the next request retries.
+func (c *EngineCache) Get(key string, build func() (*specslice.Engine, error)) (eng *specslice.Engine, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		eng := el.Value.(*cacheEntry).eng
+		c.mu.Unlock()
+		return eng, true, nil
+	}
+	c.stats.Misses++
+	if call, ok := c.building[key]; ok {
+		c.stats.Deduped++
+		c.mu.Unlock()
+		<-call.done
+		return call.eng, false, call.err
+	}
+	call := &buildCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.stats.InFlight++
+	c.mu.Unlock()
+
+	var bytes int64
+	call.eng, bytes, call.err = runBuild(build)
+
+	c.mu.Lock()
+	delete(c.building, key)
+	c.stats.InFlight--
+	if call.err != nil {
+		c.stats.BuildErrors++
+	} else {
+		c.stats.Builds++
+		el := c.lru.PushFront(&cacheEntry{key: key, eng: call.eng, bytes: bytes})
+		c.entries[key] = el
+		c.stats.Bytes += bytes
+		// Evict from the cold end. The just-inserted entry is never evicted
+		// (it is in use by this request); an engine bigger than the whole
+		// byte budget therefore stays cached alone until displaced.
+		for c.overBudget() && c.lru.Len() > 1 {
+			c.evictOldest()
+		}
+	}
+	c.stats.Entries = c.lru.Len()
+	c.mu.Unlock()
+	close(call.done)
+	return call.eng, false, call.err
+}
+
+// runBuild runs the build plus the engine warm-up (Footprint warms every
+// cache, so waiters and later hits get a fully built engine and the LRU
+// charges its real weight), converting a panic anywhere in that analysis
+// into an error. Without the guard, a panicking build (net/http recovers
+// it per-connection, so the server survives) would leave the key's
+// buildCall registered forever with an unclosed done channel — wedging
+// every later request for that program.
+func runBuild(build func() (*specslice.Engine, error)) (eng *specslice.Engine, bytes int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			eng, bytes, err = nil, 0, fmt.Errorf("server: engine build panicked: %v", r)
+		}
+	}()
+	eng, err = build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng, eng.Footprint(), nil
+}
+
+func (c *EngineCache) overBudget() bool {
+	if c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.stats.Bytes > c.maxBytes
+}
+
+func (c *EngineCache) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, ent.key)
+	c.stats.Bytes -= ent.bytes
+	c.stats.Evictions++
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *EngineCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.lru.Len()
+	return st
+}

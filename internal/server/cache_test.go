@@ -1,0 +1,239 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specslice"
+	"specslice/internal/workload"
+)
+
+// buildEngine returns a build function for src that counts invocations.
+func buildEngine(t *testing.T, src string, builds *atomic.Int64, delay time.Duration) func() (*specslice.Engine, error) {
+	t.Helper()
+	return func() (*specslice.Engine, error) {
+		builds.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		prog, err := specslice.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Engine()
+	}
+}
+
+func TestContentKeyNormalization(t *testing.T) {
+	a := specslice.MustParse(workload.Fig1Source)
+	b := specslice.MustParse("  // comment\n" + workload.Fig1Source + "\n\n")
+	if ContentKey(a.Source()) != ContentKey(b.Source()) {
+		t.Error("normalization-equivalent programs have different content keys")
+	}
+	c := specslice.MustParse(workload.Fig2Source)
+	if ContentKey(a.Source()) == ContentKey(c.Source()) {
+		t.Error("distinct programs share a content key")
+	}
+}
+
+func TestCacheHitAndLRUEviction(t *testing.T) {
+	cache := NewEngineCache(2, -1)
+	srcs := []string{workload.Fig1Source, workload.Fig2Source, workload.Fig16Source}
+	var builds atomic.Int64
+
+	// Fill: fig1, fig2. Both miss.
+	for _, src := range srcs[:2] {
+		if _, hit, err := cache.Get(ContentKey(src), buildEngine(t, src, &builds, 0)); err != nil || hit {
+			t.Fatalf("fill: hit=%v err=%v", hit, err)
+		}
+	}
+	// fig1 again: hit, and moves to the front.
+	if _, hit, err := cache.Get(ContentKey(srcs[0]), buildEngine(t, srcs[0], &builds, 0)); err != nil || !hit {
+		t.Fatalf("refresh: hit=%v err=%v", hit, err)
+	}
+	// fig16 evicts the cold entry (fig2).
+	if _, hit, _ := cache.Get(ContentKey(srcs[2]), buildEngine(t, srcs[2], &builds, 0)); hit {
+		t.Fatal("fig16 cannot hit")
+	}
+	if _, hit, _ := cache.Get(ContentKey(srcs[0]), buildEngine(t, srcs[0], &builds, 0)); !hit {
+		t.Error("fig1 should have survived the eviction (recently used)")
+	}
+	if _, hit, _ := cache.Get(ContentKey(srcs[1]), buildEngine(t, srcs[1], &builds, 0)); hit {
+		t.Error("fig2 should have been evicted")
+	}
+
+	st := cache.Stats()
+	if st.Evictions != 2 { // fig2 once, then refilling it evicted another
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if st.Hits != 2 || st.Misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 2/4", st.Hits, st.Misses)
+	}
+	if got := builds.Load(); got != 4 {
+		t.Errorf("builds = %d, want 4", got)
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	// Budget below two engines: after inserting two, only the newer stays.
+	prog := specslice.MustParse(workload.Fig1Source)
+	eng, err := prog.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := eng.Footprint() * 3 / 2
+
+	cache := NewEngineCache(-1, budget)
+	var builds atomic.Int64
+	cache.Get(ContentKey("a"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	cache.Get(ContentKey("b"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	st := cache.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Errorf("evictions=%d entries=%d, want 1/1", st.Evictions, st.Entries)
+	}
+	if st.Bytes > budget {
+		t.Errorf("cache holds %d bytes over budget %d", st.Bytes, budget)
+	}
+
+	// An engine alone over budget stays cached (never evict the entry a
+	// request is using) until the next insert displaces it.
+	small := NewEngineCache(-1, 1)
+	small.Get(ContentKey("solo"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	if st := small.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Errorf("solo oversized entry: %+v", st)
+	}
+	small.Get(ContentKey("solo2"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	if st := small.Stats(); st.Entries != 1 || st.Evictions != 1 {
+		t.Errorf("displaced oversized entry: %+v", st)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	cache := NewEngineCache(8, -1)
+	var builds atomic.Int64
+	key := ContentKey(workload.Fig16Source)
+
+	const callers = 32
+	var wg sync.WaitGroup
+	engines := make([]*specslice.Engine, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, _, err := cache.Get(key, buildEngine(t, workload.Fig16Source, &builds, 20*time.Millisecond))
+			if err != nil {
+				t.Error(err)
+			}
+			engines[i] = eng
+		}(i)
+	}
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Errorf("builds = %d, want 1 (singleflight)", got)
+	}
+	for i := 1; i < callers; i++ {
+		if engines[i] != engines[0] {
+			t.Fatal("concurrent callers received different engines")
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != callers || st.Deduped != callers-1 || st.Builds != 1 {
+		t.Errorf("stats = %+v, want misses=%d deduped=%d builds=1", st, callers, callers-1)
+	}
+	if st.Hits+st.Misses != callers {
+		t.Errorf("hit/miss accounting broken: %+v", st)
+	}
+}
+
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	cache := NewEngineCache(8, -1)
+	key := ContentKey("broken")
+	wantErr := errors.New("boom")
+	var calls atomic.Int64
+	fail := func() (*specslice.Engine, error) { calls.Add(1); return nil, wantErr }
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := cache.Get(key, fail); !errors.Is(err, wantErr) {
+			t.Fatalf("get %d: err = %v", i, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("build attempts = %d, want 3 (errors must not be cached)", calls.Load())
+	}
+	st := cache.Stats()
+	if st.BuildErrors != 3 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// The key still works once the program builds.
+	var builds atomic.Int64
+	if _, _, err := cache.Get(key, buildEngine(t, workload.Fig1Source, &builds, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := cache.Get(key, fail); !hit {
+		t.Error("recovered key should now hit")
+	}
+}
+
+func TestCacheBuildPanicDoesNotWedgeKey(t *testing.T) {
+	cache := NewEngineCache(8, -1)
+	key := ContentKey("panicky")
+	if _, _, err := cache.Get(key, func() (*specslice.Engine, error) {
+		panic("adversarial program")
+	}); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking build: err = %v, want a panic-wrapping error", err)
+	}
+	st := cache.Stats()
+	if st.InFlight != 0 || st.BuildErrors != 1 {
+		t.Errorf("stats after panic = %+v", st)
+	}
+	// The key must stay usable: a later good build succeeds and caches.
+	var builds atomic.Int64
+	if _, _, err := cache.Get(key, buildEngine(t, workload.Fig1Source, &builds, 0)); err != nil {
+		t.Fatalf("key wedged after panic: %v", err)
+	}
+	if _, hit, _ := cache.Get(key, buildEngine(t, workload.Fig1Source, &builds, 0)); !hit {
+		t.Error("recovered key should hit")
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	cache := NewEngineCache(4, -1)
+	srcs := loadPrograms()
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := srcs[i%len(srcs)]
+			for r := 0; r < 4; r++ {
+				if _, _, err := cache.Get(ContentKey(src), buildEngine(t, src, &builds, 0)); err != nil {
+					t.Errorf("worker %d: %v", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.Hits+st.Misses != 64*4 {
+		t.Errorf("lookups = %d, want %d", st.Hits+st.Misses, 64*4)
+	}
+	if st.Builds+st.Deduped != st.Misses {
+		t.Errorf("miss accounting: %+v", st)
+	}
+	if st.Entries > 4 {
+		t.Errorf("entries = %d over budget 4", st.Entries)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight = %d after drain", st.InFlight)
+	}
+}

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"specslice"
+)
+
+// Config tunes the service. Zero values take the documented defaults.
+type Config struct {
+	// CacheMaxEntries bounds the engine cache's entry count (default 64;
+	// negative disables the bound).
+	CacheMaxEntries int
+	// CacheMaxBytes bounds the engine cache's total estimated bytes
+	// (default 512 MiB; negative disables the bound).
+	CacheMaxBytes int64
+	// MaxProgramBytes rejects larger program sources (default 1 MiB).
+	MaxProgramBytes int64
+	// MaxCriteria rejects larger criterion batches (default 256).
+	MaxCriteria int
+	// Workers is the default per-batch worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// ShutdownGrace bounds the drain of in-flight requests on shutdown
+	// (default 10s).
+	ShutdownGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheMaxEntries == 0 {
+		c.CacheMaxEntries = 64
+	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = 512 << 20
+	}
+	if c.MaxProgramBytes == 0 {
+		c.MaxProgramBytes = 1 << 20
+	}
+	if c.MaxCriteria == 0 {
+		c.MaxCriteria = 256
+	}
+	if c.ShutdownGrace == 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// Server serves slice requests over HTTP, backed by a content-addressed
+// engine cache. All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *EngineCache
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.Mutex
+	batches  int64
+	requests int64
+	failed   int64
+	phases   specslice.Timings
+}
+
+// New returns a server with its routes installed.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewEngineCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/slice", s.handleSlice)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the engine cache (stats endpoints, tests).
+func (s *Server) Cache() *EngineCache { return s.cache }
+
+// ListenAndServe runs the server on addr until ctx is cancelled, then
+// drains in-flight requests for up to ShutdownGrace before returning.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// SliceRequest is the body of POST /v1/slice: one program and a batch of
+// slicing criteria served through the shared engine.
+type SliceRequest struct {
+	// Program is MicroC source text.
+	Program string `json:"program"`
+	// Criteria is the batch; each entry carries its own mode.
+	Criteria []CriterionRequest `json:"criteria"`
+	// Workers overrides the server's per-batch worker-pool size.
+	Workers int `json:"workers,omitempty"`
+	// NoSource omits the emitted program text from results (stats-only
+	// clients, e.g. dashboards polling slice sizes).
+	NoSource bool `json:"no_source,omitempty"`
+}
+
+// CriterionRequest selects one slice of the program.
+type CriterionRequest struct {
+	// Kind is "printf" (arguments of every printf, optionally restricted
+	// to Proc), "line" (statements on source line Line — note the line
+	// numbering is that of the lang-normalized program, the canonical
+	// text behind ProgramKey, not the raw request text), or "stmt"
+	// (statement printed as Stmt in procedure Proc).
+	Kind string `json:"kind"`
+	Proc string `json:"proc,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Stmt string `json:"stmt,omitempty"`
+	// Mode is "poly" (default), "mono", "weiser", or "feature".
+	Mode string `json:"mode,omitempty"`
+	// Label identifies the request in results; defaults to a canonical
+	// rendering of the criterion.
+	Label string `json:"label,omitempty"`
+}
+
+// SliceResponse is the body of a successful POST /v1/slice.
+type SliceResponse struct {
+	// ProgramKey is the content address of the lang-normalized program.
+	ProgramKey string `json:"program_key"`
+	// CacheHit reports whether the engine was served warm from the cache.
+	CacheHit bool          `json:"cache_hit"`
+	Results  []SliceResult `json:"results"`
+	// Stats aggregates the batch, including the Fig. 21 phase breakdown.
+	Stats specslice.BatchStats `json:"stats"`
+}
+
+// SliceResult is the outcome of one criterion.
+type SliceResult struct {
+	Label string `json:"label"`
+	Mode  string `json:"mode"`
+	// Source is the specialized program text (omitted with no_source).
+	Source string `json:"source,omitempty"`
+	// VariantCounts maps each sliced procedure to its number of
+	// specialized versions.
+	VariantCounts map[string]int `json:"variant_counts,omitempty"`
+	// Vertices is the slice's total vertex count (copies counted).
+	Vertices   int    `json:"vertices,omitempty"`
+	DurationNS int64  `json:"duration_ns"`
+	Error      string `json:"error,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeNS int64      `json:"uptime_ns"`
+	Cache    CacheStats `json:"cache"`
+	// Batches counts POST /v1/slice calls that reached the engine;
+	// Requests and Failed count individual criteria across them.
+	Batches  int64 `json:"batches"`
+	Requests int64 `json:"requests"`
+	Failed   int64 `json:"failed"`
+	// Phases aggregates every served batch's polyvariant phase timings.
+	Phases specslice.Timings `json:"phases"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := StatsResponse{
+		Batches:  s.batches,
+		Requests: s.requests,
+		Failed:   s.failed,
+		Phases:   s.phases,
+	}
+	s.mu.Unlock()
+	resp.UptimeNS = int64(time.Since(s.start))
+	resp.Cache = s.cache.Stats()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	// Transport-level cap only: JSON escaping can double the program text
+	// (newlines, tabs, quotes), so allow 2x plus envelope slack here and
+	// leave validate() as the authoritative program-size check.
+	r.Body = http.MaxBytesReader(w, r.Body, 2*s.cfg.MaxProgramBytes+1<<16)
+	var req SliceRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := s.validate(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	prog, err := specslice.Parse(req.Program)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "program does not parse: %v", err)
+		return
+	}
+	norm := prog.Source()
+	key := ContentKey(norm)
+	eng, hit, err := s.cache.Get(key, func() (*specslice.Engine, error) {
+		// Build from the canonical normalized source, not the request
+		// text: every normalization-equivalent request must observe the
+		// same engine, including source positions — a line criterion
+		// resolves against the normalized program's line numbering no
+		// matter whose formatting populated the cache.
+		canon, err := specslice.Parse(norm)
+		if err != nil {
+			return nil, err
+		}
+		p, err := canon.EliminateIndirectCalls()
+		if err != nil {
+			return nil, err
+		}
+		return p.Engine()
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "program does not analyze: %v", err)
+		return
+	}
+
+	g := eng.SDG()
+	reqs := make([]specslice.BatchRequest, len(req.Criteria))
+	for i, c := range req.Criteria {
+		mode, _ := batchMode(c.Mode) // validated above
+		label := c.Label
+		if label == "" {
+			label = c.canonical()
+		}
+		reqs[i] = specslice.BatchRequest{Criterion: c.resolve(g), Mode: mode, Label: label}
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	results, stats := eng.SliceAll(reqs, specslice.BatchOptions{Workers: workers})
+
+	resp := SliceResponse{ProgramKey: key, CacheHit: hit, Stats: stats}
+	for i, res := range results {
+		out := SliceResult{
+			Label:      res.Label,
+			Mode:       canonicalMode(req.Criteria[i].Mode),
+			DurationNS: int64(res.Duration),
+		}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		} else {
+			out.VariantCounts = res.Slice.VariantCounts()
+			out.Vertices = res.Slice.Vertices()
+			if !req.NoSource {
+				if src, err := res.Slice.Source(); err != nil {
+					out.Error = err.Error()
+				} else {
+					out.Source = src
+				}
+			}
+		}
+		resp.Results = append(resp.Results, out)
+	}
+
+	// Failures are counted over the final results, so emit errors (which
+	// surface after the engine batch) are included, and the per-response
+	// stats agree with the aggregate /v1/stats counter.
+	failed := 0
+	for _, res := range resp.Results {
+		if res.Error != "" {
+			failed++
+		}
+	}
+	resp.Stats.Failed = failed
+	s.mu.Lock()
+	s.batches++
+	s.requests += int64(stats.Requests)
+	s.failed += int64(failed)
+	s.phases.Add(stats.Phases)
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) validate(req *SliceRequest) error {
+	if req.Program == "" {
+		return errors.New("program is required")
+	}
+	if int64(len(req.Program)) > s.cfg.MaxProgramBytes {
+		return fmt.Errorf("program is %d bytes, limit %d", len(req.Program), s.cfg.MaxProgramBytes)
+	}
+	if len(req.Criteria) == 0 {
+		return errors.New("at least one criterion is required")
+	}
+	if len(req.Criteria) > s.cfg.MaxCriteria {
+		return fmt.Errorf("%d criteria, limit %d", len(req.Criteria), s.cfg.MaxCriteria)
+	}
+	if req.Workers < 0 {
+		return errors.New("workers must be >= 0")
+	}
+	for i, c := range req.Criteria {
+		if _, ok := batchMode(c.Mode); !ok {
+			return fmt.Errorf("criteria[%d]: unknown mode %q (want poly, mono, weiser, or feature)", i, c.Mode)
+		}
+		switch c.Kind {
+		case "printf":
+		case "line":
+			if c.Line <= 0 {
+				return fmt.Errorf("criteria[%d]: line criterion needs a positive line", i)
+			}
+		case "stmt":
+			if c.Proc == "" || c.Stmt == "" {
+				return fmt.Errorf("criteria[%d]: stmt criterion needs proc and stmt", i)
+			}
+		default:
+			return fmt.Errorf("criteria[%d]: unknown kind %q (want printf, line, or stmt)", i, c.Kind)
+		}
+	}
+	return nil
+}
+
+// resolve maps the request onto an SDG criterion; resolution failures (no
+// such printf, no statement on the line) surface as that request's error.
+func (c CriterionRequest) resolve(g *specslice.SDG) specslice.Criterion {
+	switch c.Kind {
+	case "printf":
+		return g.PrintfCriterion(c.Proc)
+	case "line":
+		return g.LineCriterion(c.Line)
+	default: // "stmt"; kinds were validated
+		return g.StmtCriterion(c.Proc, c.Stmt)
+	}
+}
+
+func (c CriterionRequest) canonical() string {
+	switch c.Kind {
+	case "printf":
+		if c.Proc == "" {
+			return "printf"
+		}
+		return "printf:" + c.Proc
+	case "line":
+		return fmt.Sprintf("line:%d", c.Line)
+	default:
+		return fmt.Sprintf("stmt:%s:%s", c.Proc, c.Stmt)
+	}
+}
+
+func batchMode(mode string) (specslice.BatchMode, bool) {
+	switch mode {
+	case "", "poly":
+		return specslice.BatchPoly, true
+	case "mono":
+		return specslice.BatchMono, true
+	case "weiser":
+		return specslice.BatchWeiser, true
+	case "feature":
+		return specslice.BatchFeature, true
+	}
+	return 0, false
+}
+
+func canonicalMode(mode string) string {
+	if mode == "" {
+		return "poly"
+	}
+	return mode
+}

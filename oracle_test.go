@@ -1,0 +1,247 @@
+package specslice_test
+
+// Interpreter-backed differential oracle: the paper's executable-slice
+// guarantee, checked by execution rather than by structure. For randomly
+// generated workload programs and randomly drawn criteria, the original
+// program and the emitted specialized program are both run through
+// internal/interp, and the projected observable behavior at the criterion —
+// the sequence of values observed at each criterion statement, keyed by
+// origin ID — must agree exactly. This is the safety net that lets the
+// automaton and engine hot paths keep being rewritten aggressively: a slice
+// that is structurally plausible but behaviorally wrong fails here.
+//
+// The generator seed and the criterion draws are deterministic, so a
+// failure reproduces by name. In -short mode a reduced budget runs; the
+// full run checks at least 200 program/criterion pairs (the PR's
+// acceptance bar).
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"specslice/internal/core"
+	"specslice/internal/emit"
+	"specslice/internal/engine"
+	"specslice/internal/interp"
+	"specslice/internal/lang"
+	"specslice/internal/sdg"
+	"specslice/internal/workload"
+)
+
+// oracleStepBudget bounds one interpreter run. Generated programs whose
+// loops blow past it are skipped (deterministically), not failed: the
+// oracle compares behavior, and programs without observable termination in
+// budget have none to compare.
+const oracleStepBudget = 2_000_000
+
+// oracleConfigs returns the generated-program corpus: non-recursive (the
+// generator's self-recursion is unguarded and never terminates), sized so
+// SDG construction and interpretation stay test-suite cheap.
+func oracleConfigs(n int) []workload.BenchConfig {
+	rng := rand.New(rand.NewSource(0x5EED))
+	out := make([]workload.BenchConfig, n)
+	for i := range out {
+		out[i] = workload.BenchConfig{
+			Name:           "oracle",
+			Procs:          5 + rng.Intn(8),
+			TargetVertices: 150 + rng.Intn(300),
+			CallSites:      12 + rng.Intn(24),
+			Slices:         6,
+			Seed:           int64(1000 + i),
+		}
+	}
+	return out
+}
+
+// oracleCriterion is one drawn criterion: a spec for the slicer plus the
+// origin IDs whose observations the two runs must agree on.
+type oracleCriterion struct {
+	name    string
+	spec    core.CriterionSpec
+	mono    []sdg.VertexID // the same criterion for the monovariant slicer
+	origins []lang.NodeID
+}
+
+// drawCriteria samples criteria from g: printf sites (the paper's usual
+// shape, explicit main configurations) and random statement/predicate
+// vertices in every reachable calling context. Call and return statements
+// are excluded — emit legitimately rewrites their argument/value lists, so
+// the used-variable observation would differ structurally even when the
+// slice is correct.
+func drawCriteria(g *sdg.Graph, rng *rand.Rand, n int) []oracleCriterion {
+	var printfs []*sdg.Site
+	for _, s := range g.Sites {
+		if s.Lib && s.Callee == "printf" {
+			printfs = append(printfs, s)
+		}
+	}
+	var stmtVerts []sdg.VertexID
+	for _, v := range g.Vertices {
+		if v.Stmt == nil {
+			continue
+		}
+		if v.Kind != sdg.KindStmt && v.Kind != sdg.KindPredicate {
+			continue
+		}
+		switch v.Stmt.(type) {
+		case *lang.AssignStmt, *lang.IfStmt, *lang.WhileStmt:
+			stmtVerts = append(stmtVerts, v.ID)
+		case *lang.DeclStmt:
+			if v.Stmt.(*lang.DeclStmt).Init != nil {
+				stmtVerts = append(stmtVerts, v.ID)
+			}
+		}
+	}
+
+	var out []oracleCriterion
+	for i := 0; i < n; i++ {
+		if len(printfs) > 0 && (i%2 == 0 || len(stmtVerts) == 0) {
+			site := printfs[rng.Intn(len(printfs))]
+			crit := append([]sdg.VertexID(nil), site.ActualIns...)
+			var cfgs core.Configs
+			for _, v := range crit {
+				cfgs = append(cfgs, core.Config{Vertex: v})
+			}
+			out = append(out, oracleCriterion{
+				name:    "printf",
+				spec:    cfgs,
+				mono:    crit,
+				origins: []lang.NodeID{site.Stmt.Base().OriginID()},
+			})
+			continue
+		}
+		if len(stmtVerts) == 0 {
+			break
+		}
+		k := 1 + rng.Intn(3)
+		seen := map[sdg.VertexID]bool{}
+		var crit []sdg.VertexID
+		var origins []lang.NodeID
+		for j := 0; j < k; j++ {
+			v := stmtVerts[rng.Intn(len(stmtVerts))]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			crit = append(crit, v)
+			origins = append(origins, g.Vertices[v].Stmt.Base().OriginID())
+		}
+		out = append(out, oracleCriterion{
+			name:    "vertices",
+			spec:    core.Vertices(crit),
+			mono:    crit,
+			origins: origins,
+		})
+	}
+	return out
+}
+
+func recordAll(origins []lang.NodeID) map[lang.NodeID]bool {
+	m := map[lang.NodeID]bool{}
+	for _, o := range origins {
+		m[o] = true
+	}
+	return m
+}
+
+func TestDifferentialOracle(t *testing.T) {
+	nPrograms, perProgram, minPairs := 24, 20, 200
+	if testing.Short() {
+		nPrograms, perProgram, minPairs = 7, 10, 25
+	}
+	rng := rand.New(rand.NewSource(0xD1FF))
+
+	checked, skippedPrograms, skippedPairs, monoChecked := 0, 0, 0, 0
+	for _, cfg := range oracleConfigs(nPrograms) {
+		prog := workload.Generate(cfg)
+		g := sdg.MustBuild(prog)
+		eng := engine.New(g)
+		crits := drawCriteria(g, rng, perProgram)
+
+		// One original run records every origin any drawn criterion
+		// observes; per-criterion comparisons read subsets of it.
+		var all []lang.NodeID
+		for _, c := range crits {
+			all = append(all, c.origins...)
+		}
+		orig, err := interp.Run(prog, interp.Options{
+			MaxSteps: oracleStepBudget,
+			Record:   recordAll(all),
+		})
+		if err != nil {
+			// Deterministically non-terminating (or otherwise unrunnable)
+			// generated program: nothing to compare.
+			skippedPrograms++
+			continue
+		}
+
+		for _, c := range crits {
+			res, err := eng.Specialize(c.spec)
+			if err != nil {
+				// Legitimate refusals — e.g. criterion vertices in a
+				// procedure the generator never ended up calling.
+				skippedPairs++
+				continue
+			}
+			// The emitted AST is interpreted directly (its statements
+			// carry the Origin links the recorder keys on); the printed
+			// text must still reparse, like any served slice.
+			out, err := emit.Program(g, res.Variants())
+			if err != nil {
+				t.Fatalf("%s seed %d %s: emit: %v", cfg.Name, cfg.Seed, c.name, err)
+			}
+			if _, err := lang.Parse(lang.Print(out)); err != nil {
+				t.Fatalf("%s seed %d %s: slice does not reparse: %v", cfg.Name, cfg.Seed, c.name, err)
+			}
+			sliced, err := interp.Run(out, interp.Options{
+				MaxSteps: orig.Steps + 1000,
+				Record:   recordAll(c.origins),
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d %s: slice run: %v\n%s", cfg.Name, cfg.Seed, c.name, err, lang.Print(out))
+			}
+			if sliced.Steps > orig.Steps {
+				t.Errorf("%s seed %d %s: slice executes %d steps, original %d",
+					cfg.Name, cfg.Seed, c.name, sliced.Steps, orig.Steps)
+			}
+			for _, o := range c.origins {
+				if !reflect.DeepEqual(orig.Values[o], sliced.Values[o]) {
+					t.Fatalf("%s seed %d %s: behavior diverges at origin %d:\noriginal: %v\nslice:    %v\n%s",
+						cfg.Name, cfg.Seed, c.name, o, orig.Values[o], sliced.Values[o], lang.Print(out))
+				}
+			}
+			checked++
+
+			// Every fourth pair, the monovariant baseline gets the same
+			// behavioral check (it claims executability too).
+			if checked%4 == 0 {
+				mres := eng.Binkley(c.mono)
+				mout, err := emit.Program(g, mres.Variants())
+				if err != nil {
+					t.Fatalf("%s seed %d %s: mono emit: %v", cfg.Name, cfg.Seed, c.name, err)
+				}
+				msliced, err := interp.Run(mout, interp.Options{
+					MaxSteps: orig.Steps + 1000,
+					Record:   recordAll(c.origins),
+				})
+				if err != nil {
+					t.Fatalf("%s seed %d %s: mono run: %v", cfg.Name, cfg.Seed, c.name, err)
+				}
+				for _, o := range c.origins {
+					if !reflect.DeepEqual(orig.Values[o], msliced.Values[o]) {
+						t.Fatalf("%s seed %d %s: mono behavior diverges at origin %d:\noriginal: %v\nslice:    %v",
+							cfg.Name, cfg.Seed, c.name, o, orig.Values[o], msliced.Values[o])
+					}
+				}
+				monoChecked++
+			}
+		}
+	}
+	t.Logf("oracle: %d pairs checked (%d mono), %d pairs skipped, %d programs skipped",
+		checked, monoChecked, skippedPairs, skippedPrograms)
+	if checked < minPairs {
+		t.Errorf("only %d pairs checked, want >= %d (skipped %d programs, %d pairs)",
+			checked, minPairs, skippedPrograms, skippedPairs)
+	}
+}

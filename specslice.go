@@ -321,6 +321,12 @@ func (sl *Slice) Program() (*Program, error) {
 	return &Program{ast: out}, nil
 }
 
+// Source emits the slice directly as MicroC source text — the form the
+// HTTP service returns to clients.
+func (sl *Slice) Source() (string, error) {
+	return emit.Source(sl.src, sl.variants)
+}
+
 // VariantCounts reports how many specialized versions each sliced
 // procedure received (always 1 for monovariant slices).
 func (sl *Slice) VariantCounts() map[string]int { return sl.counts }
@@ -361,6 +367,12 @@ func (e *Engine) SDG() *SDG { return e.s }
 // Warm eagerly builds every cache so subsequent requests pay only
 // per-query costs. Calling it is optional; caches also fill lazily.
 func (e *Engine) Warm() error { return e.s.eng.Warm() }
+
+// Footprint estimates the bytes retained by the engine's cached analysis
+// state (graph, encoding, reachable-configuration automaton), warming the
+// caches first. Long-running services use it to budget content-addressed
+// engine caches by total bytes.
+func (e *Engine) Footprint() int64 { return e.s.eng.Footprint() }
 
 // SpecializationSlice computes the paper's polyvariant executable slice
 // through the cached engine state.
@@ -416,13 +428,53 @@ type BatchOptions struct {
 
 // BatchStats aggregates a SliceAll run.
 type BatchStats struct {
-	Requests int
-	Failed   int
-	Workers  int
+	Requests int `json:"requests"`
+	Failed   int `json:"failed"`
+	Workers  int `json:"workers"`
 	// Wall is the end-to-end batch time; Work is the sum of per-request
 	// durations, so Work/Wall approximates the achieved parallelism.
-	Wall time.Duration
-	Work time.Duration
+	Wall time.Duration `json:"wall_ns"`
+	Work time.Duration `json:"work_ns"`
+	// Phases sums the polyvariant requests' per-phase timings across the
+	// batch (the paper's Fig. 21 breakdown).
+	Phases Timings `json:"phases"`
+}
+
+// Timings is the JSON-stable per-phase time breakdown of polyvariant slice
+// requests (the paper's Fig. 21), in nanoseconds. It mirrors the internal
+// core.Timings so services can report phase costs without reaching into
+// internal packages.
+type Timings struct {
+	EncodeNS      int64 `json:"encode_ns"`
+	PrestarNS     int64 `json:"prestar_ns"`
+	AutomatonNS   int64 `json:"automaton_ns"`
+	DeterminizeNS int64 `json:"determinize_ns"`
+	MinimizeNS    int64 `json:"minimize_ns"`
+	ReadoutNS     int64 `json:"readout_ns"`
+	TotalNS       int64 `json:"total_ns"`
+}
+
+// Add accumulates o into t (aggregation across batches).
+func (t *Timings) Add(o Timings) {
+	t.EncodeNS += o.EncodeNS
+	t.PrestarNS += o.PrestarNS
+	t.AutomatonNS += o.AutomatonNS
+	t.DeterminizeNS += o.DeterminizeNS
+	t.MinimizeNS += o.MinimizeNS
+	t.ReadoutNS += o.ReadoutNS
+	t.TotalNS += o.TotalNS
+}
+
+func timingsFrom(t core.Timings) Timings {
+	return Timings{
+		EncodeNS:      int64(t.Encode),
+		PrestarNS:     int64(t.Prestar),
+		AutomatonNS:   int64(t.AutomatonOps),
+		DeterminizeNS: int64(t.AutomatonDeterminize),
+		MinimizeNS:    int64(t.AutomatonMinimize),
+		ReadoutNS:     int64(t.Readout),
+		TotalNS:       int64(t.Total),
+	}
 }
 
 // SliceAll serves a batch of slice requests through a worker pool, sharing
@@ -480,5 +532,6 @@ func (e *Engine) SliceAll(reqs []BatchRequest, opts BatchOptions) ([]BatchResult
 		Workers:  estats.Workers,
 		Wall:     estats.Wall,
 		Work:     estats.Work,
+		Phases:   timingsFrom(estats.Phases),
 	}
 }
