@@ -42,6 +42,8 @@ func main() {
 		}
 		fmt.Printf("BENCH_engine.json: cold %.0fns/op, warm %.0fns/op (%.1fx, %.0f allocs/op), batch %d/%d workers %.1fx\n",
 			eb.ColdNsPerOp, eb.WarmNsPerOp, eb.WarmSpeedup, eb.WarmAllocsPerOp, eb.BatchSize, eb.Workers, eb.BatchSpeedup)
+		fmt.Printf("  advance (%s, %d single-proc edits): %.0fns/op incremental vs %.0fns/op cold = %.1fx\n",
+			eb.AdvanceSuite, eb.AdvanceEdits, eb.IncrementalNsPerOp, eb.AdvanceColdNsPerOp, eb.AdvanceSpeedup)
 		if *table == "none" {
 			return
 		}

@@ -1,0 +1,362 @@
+package specslice_test
+
+// Incremental equivalence oracle (TESTING.md, Layer 4): for random
+// (program, edit-script, criterion) triples, an engine advanced
+// incrementally through every edit must produce byte-identical slices —
+// polyvariant and monovariant — to an engine built from scratch on the
+// same version. Criteria are re-derived from the current version's content
+// (statement labels, printf sites), never from vertex IDs, so they follow
+// the program through edits the way a client's criteria do; edit scripts
+// come from the seeded generator in internal/workload, so any failure
+// reproduces from the seeds in its message.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specslice"
+	"specslice/internal/lang"
+	"specslice/internal/workload"
+)
+
+// incCriterion is one content-anchored criterion, resolvable against any
+// engine serving the same program version.
+type incCriterion struct {
+	name    string
+	resolve func(*specslice.SDG) specslice.Criterion
+}
+
+// drawIncCriteria samples criteria from the current program version: the
+// printf criterion in main plus randomly drawn assignment statements
+// (matched by procedure name and printed label).
+func drawIncCriteria(prog *lang.Program, rng *rand.Rand, n int) []incCriterion {
+	out := []incCriterion{{
+		name:    "printf:main",
+		resolve: func(s *specslice.SDG) specslice.Criterion { return s.PrintfCriterion("main") },
+	}}
+	type anchor struct{ proc, label string }
+	var anchors []anchor
+	seen := map[anchor]bool{}
+	for _, fn := range prog.Funcs {
+		for _, s := range fn.Stmts() {
+			a, ok := s.(*lang.AssignStmt)
+			if !ok {
+				continue
+			}
+			k := anchor{fn.Name, a.LHS + " = " + lang.ExprString(a.RHS)}
+			if !seen[k] {
+				seen[k] = true
+				anchors = append(anchors, k)
+			}
+		}
+	}
+	for len(out) < n && len(anchors) > 0 {
+		i := rng.Intn(len(anchors))
+		a := anchors[i]
+		anchors = append(anchors[:i], anchors[i+1:]...)
+		out = append(out, incCriterion{
+			name: "stmt:" + a.proc + ":" + a.label,
+			resolve: func(s *specslice.SDG) specslice.Criterion {
+				return s.StmtCriterion(a.proc, a.label)
+			},
+		})
+	}
+	return out
+}
+
+// sliceOutcome renders a slice attempt as comparable bytes: the emitted
+// source on success, or the error text on a legitimate refusal (e.g. the
+// criterion's procedure became unreachable after a call-site removal).
+// Advanced and scratch engines must agree on the outcome either way.
+func sliceOutcome(sl *specslice.Slice, err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	src, err := sl.Source()
+	if err != nil {
+		return "emit-error: " + err.Error()
+	}
+	return src
+}
+
+func polyOutcome(e *specslice.Engine, c incCriterion) string {
+	sl, err := e.SpecializationSlice(c.resolve(e.SDG()))
+	return sliceOutcome(sl, err)
+}
+
+func monoOutcome(e *specslice.Engine, c incCriterion) string {
+	sl, err := e.MonovariantSlice(c.resolve(e.SDG()))
+	return sliceOutcome(sl, err)
+}
+
+func TestIncrementalEquivalenceOracle(t *testing.T) {
+	nPrograms, scriptsPer, steps, critsPer, minTriples := 10, 2, 4, 5, 300
+	if testing.Short() {
+		nPrograms, scriptsPer, steps, critsPer, minTriples = 3, 1, 3, 4, 30
+	}
+
+	triples, advancedProcs, rebuiltProcs := 0, 0, 0
+	for pi := 0; pi < nPrograms; pi++ {
+		cfg := workload.BenchConfig{
+			Name:           "inc",
+			Procs:          5 + pi%6,
+			TargetVertices: 150 + 40*(pi%5),
+			CallSites:      12 + 3*(pi%7),
+			Slices:         5,
+			Seed:           int64(9000 + pi),
+		}
+		base := workload.Generate(cfg)
+		for si := 0; si < scriptsPer; si++ {
+			editSeed := int64(100*pi + si + 1)
+			ed := workload.NewEditor(base, editSeed)
+			critRng := rand.New(rand.NewSource(editSeed * 7919))
+
+			cur, err := specslice.MustParse(ed.Source()).Engine()
+			if err != nil {
+				t.Fatalf("prog %d script %d: base engine: %v", cfg.Seed, editSeed, err)
+			}
+
+			for step := 0; step < steps; step++ {
+				ed.Step()
+				src := ed.Source()
+				newProg, err := specslice.Parse(src)
+				if err != nil {
+					t.Fatalf("prog %d script %d step %d: edited program invalid: %v\nops: %v",
+						cfg.Seed, editSeed, step, err, ed.Ops)
+				}
+				next, stats, err := cur.Advance(newProg)
+				if err != nil {
+					t.Fatalf("prog %d script %d step %d: advance: %v\nops: %v",
+						cfg.Seed, editSeed, step, err, ed.Ops)
+				}
+				scratch, err := specslice.MustParse(src).Engine()
+				if err != nil {
+					t.Fatalf("prog %d script %d step %d: scratch engine: %v", cfg.Seed, editSeed, step, err)
+				}
+				advancedProcs += stats.ProcsReused
+				rebuiltProcs += stats.ProcsRebuilt
+
+				ast, err := lang.Parse(src)
+				if err != nil {
+					t.Fatalf("prog %d script %d step %d: reparse: %v", cfg.Seed, editSeed, step, err)
+				}
+				for _, c := range drawIncCriteria(ast, critRng, critsPer) {
+					id := fmt.Sprintf("prog %d script %d step %d %s (ops %v)", cfg.Seed, editSeed, step, c.name, ed.Ops)
+					if got, want := polyOutcome(next, c), polyOutcome(scratch, c); got != want {
+						t.Fatalf("%s: poly slice diverges\n--- advanced\n%s\n--- scratch\n%s", id, got, want)
+					}
+					if got, want := monoOutcome(next, c), monoOutcome(scratch, c); got != want {
+						t.Fatalf("%s: mono slice diverges\n--- advanced\n%s\n--- scratch\n%s", id, got, want)
+					}
+					triples++
+				}
+				cur = next
+			}
+		}
+	}
+	t.Logf("oracle: %d triples byte-identical (poly+mono); %d PDGs reused, %d rebuilt across advances",
+		triples, advancedProcs, rebuiltProcs)
+	if triples < minTriples {
+		t.Errorf("only %d triples checked, want >= %d", triples, minTriples)
+	}
+	if advancedProcs == 0 {
+		t.Error("no procedure dependence graphs were ever reused — Advance is degenerating to full rebuilds")
+	}
+}
+
+// TestLineCriterionReanchor checks the cache-hit guarantee of PR 3 carried
+// into version chains: a line criterion resolves against the normalized
+// program text, so after an edit shifts the target statement to a new
+// line, the re-anchored line on the advanced engine selects the same
+// statement — and slices identically to a from-scratch build (and, when
+// the inserted code is irrelevant to the criterion, identically to the
+// pre-edit slice).
+func TestLineCriterionReanchor(t *testing.T) {
+	const base = `
+int total;
+int noise;
+
+void bump(int v) {
+  total = total + v;
+}
+
+int main() {
+  int i = 0;
+  scanf("%d", &i);
+  bump(i);
+  bump(7);
+  printf("%d\n", total);
+  return 0;
+}
+`
+	const target = "total = total + v;" // the anchor statement
+	tests := []struct {
+		name string
+		edit func(string) string
+		// sameSlice: the edit is irrelevant to the criterion, so the
+		// re-anchored slice must equal the pre-edit slice byte for byte.
+		sameSlice bool
+	}{
+		{
+			name:      "reformat only, line unchanged",
+			edit:      func(s string) string { return strings.ReplaceAll(s, "\n  ", "\n      ") },
+			sameSlice: true,
+		},
+		{
+			name: "irrelevant insert above shifts the line down",
+			edit: func(s string) string {
+				return strings.Replace(s, "void bump", "void chatter(int z) {\n  noise = z;\n}\n\nvoid bump", 1)
+			},
+			sameSlice: true,
+		},
+		{
+			name: "irrelevant insert in main shifts the line",
+			edit: func(s string) string {
+				return strings.Replace(s, "int i = 0;", "int i = 0;\n  noise = 5;", 1)
+			},
+			sameSlice: true,
+		},
+		{
+			name: "relevant insert shifts the line and changes the slice",
+			edit: func(s string) string {
+				return strings.Replace(s, "bump(i);", "bump(3);\n  bump(i);", 1)
+			},
+			sameSlice: false,
+		},
+	}
+
+	lineOf := func(t *testing.T, norm string) int {
+		t.Helper()
+		for i, ln := range strings.Split(norm, "\n") {
+			if strings.Contains(ln, target) {
+				return i + 1
+			}
+		}
+		t.Fatalf("anchor %q not in normalized source:\n%s", target, norm)
+		return 0
+	}
+	// sliceAtAnchor re-anchors the criterion by content: it finds the
+	// anchor statement's line in the version's normalized source — the
+	// text behind the engine's ProgramKey — and slices there. It returns
+	// the poly slice (compared advanced-vs-scratch, where numbering is
+	// identical) and the mono slice (compared across versions: its stable
+	// variant naming makes byte equality prove the criterion selected the
+	// same statement even though other vertex IDs shifted).
+	sliceAtAnchor := func(t *testing.T, e *specslice.Engine, norm string) (poly, mono string) {
+		t.Helper()
+		c := e.SDG().LineCriterion(lineOf(t, norm))
+		psl, err := e.SpecializationSlice(c)
+		if err != nil {
+			t.Fatalf("poly slice at anchor: %v", err)
+		}
+		if poly, err = psl.Source(); err != nil {
+			t.Fatalf("poly emit: %v", err)
+		}
+		msl, err := e.MonovariantSlice(c)
+		if err != nil {
+			t.Fatalf("mono slice at anchor: %v", err)
+		}
+		if mono, err = msl.Source(); err != nil {
+			t.Fatalf("mono emit: %v", err)
+		}
+		return poly, mono
+	}
+
+	// canon parses the canonical normalized source, as the server does: a
+	// line criterion resolves against the normalized program's numbering,
+	// whatever formatting the client sent.
+	canon := func(src string) *specslice.Program {
+		return specslice.MustParse(specslice.MustParse(src).Source())
+	}
+
+	baseProg := canon(base)
+	baseEng, err := baseProg.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, baseMono := sliceAtAnchor(t, baseEng, baseProg.Source())
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			edited := canon(tc.edit(base))
+			adv, _, err := baseEng.Advance(edited)
+			if err != nil {
+				t.Fatalf("advance: %v", err)
+			}
+			gotPoly, gotMono := sliceAtAnchor(t, adv, edited.Source())
+			scratchProg := canon(tc.edit(base))
+			scratchEng, err := scratchProg.Engine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPoly, wantMono := sliceAtAnchor(t, scratchEng, scratchProg.Source())
+			if gotPoly != wantPoly {
+				t.Errorf("advanced poly line slice differs from scratch:\n--- advanced\n%s\n--- scratch\n%s", gotPoly, wantPoly)
+			}
+			if gotMono != wantMono {
+				t.Errorf("advanced mono line slice differs from scratch:\n--- advanced\n%s\n--- scratch\n%s", gotMono, wantMono)
+			}
+			if tc.sameSlice && gotMono != baseMono {
+				t.Errorf("criterion did not re-anchor: slice changed though the edit is irrelevant\n--- before\n%s\n--- after\n%s", baseMono, gotMono)
+			}
+			if !tc.sameSlice && gotMono == baseMono {
+				t.Errorf("slice unchanged though the edit is relevant to the criterion")
+			}
+		})
+	}
+}
+
+// FuzzAdvance drives the incremental engine with fuzzer-chosen program and
+// edit-script seeds, holding advanced and scratch slices byte-identical.
+// The seed corpus spans every edit kind via the generator seeds the unit
+// tests rely on.
+func FuzzAdvance(f *testing.F) {
+	f.Add(int64(1), int64(1), uint8(2))
+	f.Add(int64(2), int64(7), uint8(3))
+	f.Add(int64(3), int64(42), uint8(1))
+	f.Add(int64(9001), int64(5), uint8(4))
+	f.Fuzz(func(t *testing.T, progSeed, editSeed int64, steps uint8) {
+		cfg := workload.BenchConfig{
+			Name:           "fuzz",
+			Procs:          4 + int(uint64(progSeed)%4),
+			TargetVertices: 120 + int(uint64(progSeed)%120),
+			CallSites:      8 + int(uint64(progSeed)%10),
+			Slices:         4,
+			Seed:           progSeed,
+		}
+		ed := workload.NewEditor(workload.Generate(cfg), editSeed)
+		cur, err := specslice.MustParse(ed.Source()).Engine()
+		if err != nil {
+			t.Skip("base program does not analyze")
+		}
+		n := 1 + int(steps%4)
+		for i := 0; i < n; i++ {
+			ed.Step()
+			prog, err := specslice.Parse(ed.Source())
+			if err != nil {
+				t.Fatalf("edited program invalid: %v\nops: %v", err, ed.Ops)
+			}
+			next, _, err := cur.Advance(prog)
+			if err != nil {
+				t.Fatalf("advance: %v\nops: %v", err, ed.Ops)
+			}
+			scratch, err := specslice.MustParse(ed.Source()).Engine()
+			if err != nil {
+				t.Fatalf("scratch engine: %v\nops: %v", err, ed.Ops)
+			}
+			c := incCriterion{
+				name:    "printf:main",
+				resolve: func(s *specslice.SDG) specslice.Criterion { return s.PrintfCriterion("main") },
+			}
+			if got, want := polyOutcome(next, c), polyOutcome(scratch, c); got != want {
+				t.Fatalf("step %d: poly slice diverges (ops %v)\n--- advanced\n%s\n--- scratch\n%s", i, ed.Ops, got, want)
+			}
+			if got, want := monoOutcome(next, c), monoOutcome(scratch, c); got != want {
+				t.Fatalf("step %d: mono slice diverges (ops %v)\n--- advanced\n%s\n--- scratch\n%s", i, ed.Ops, got, want)
+			}
+			cur = next
+		}
+	})
+}

@@ -41,6 +41,13 @@ type Encoding struct {
 // Prestar answers a pre* query through the encoding's cached rule indexes.
 func (e *Encoding) Prestar(a *fsa.FSA) *fsa.FSA { return e.prestar.Prestar(a) }
 
+// ScratchBytes estimates the heap the encoding's Prestar engine retains
+// between queries (pooled saturation arenas); ScratchProvision is the
+// steady-state floor one arena will reach once queries start. Byte-budget
+// accounting (engine.Footprint) charges whichever is larger.
+func (e *Encoding) ScratchBytes() int64     { return e.prestar.ScratchBytes() }
+func (e *Encoding) ScratchProvision() int64 { return e.prestar.ScratchProvision() }
+
 // Reachable returns the cached reachable-configuration automaton
 // Poststar[P]({(p, entry_main)}), computing it on first use. Safe for
 // concurrent callers.

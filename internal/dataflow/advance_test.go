@@ -1,0 +1,91 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"specslice/internal/lang"
+)
+
+const mrBase = `
+int g; int h;
+
+int inc(int a) {
+  g = g + a;
+  return a + 1;
+}
+
+void set(int v) {
+  h = v;
+}
+
+int main() {
+  int x = 1;
+  x = inc(x);
+  set(x);
+  printf("%d\n", g + h);
+  return 0;
+}
+`
+
+func mrParse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func modRefEqual(t *testing.T, ctx string, got, want *ModRef, prog *lang.Program) {
+	t.Helper()
+	for _, fn := range prog.Funcs {
+		if !summariesEqual(got, want, fn.Name) {
+			t.Errorf("%s: %s summaries diverge from full recompute:\ngot  GMOD=%v GREF=%v MustMod=%v UEREF=%v\nwant GMOD=%v GREF=%v MustMod=%v UEREF=%v",
+				ctx, fn.Name,
+				got.GMOD[fn.Name].Sorted(), got.GREF[fn.Name].Sorted(), got.MustMod[fn.Name].Sorted(), got.UEREF[fn.Name].Sorted(),
+				want.GMOD[fn.Name].Sorted(), want.GREF[fn.Name].Sorted(), want.MustMod[fn.Name].Sorted(), want.UEREF[fn.Name].Sorted())
+		}
+	}
+}
+
+func TestAdvanceModRefMatchesFull(t *testing.T) {
+	old := mrParse(t, mrBase)
+	oldMR := ComputeModRef(old)
+	edits := map[string]string{
+		"summary-preserving edit":  strings.Replace(mrBase, "return a + 1;", "return a + 2;", 1),
+		"summary-changing edit":    strings.Replace(mrBase, "h = v;", "h = v;\n  g = v;", 1),
+		"summary-shrinking edit":   strings.Replace(mrBase, "g = g + a;", "", 1),
+		"procedure added and used": strings.Replace(mrBase, "int main", "void zero() {\n  g = 0;\n}\n\nint main", 1),
+	}
+	for name, src := range edits {
+		newProg := mrParse(t, src)
+		modRefEqual(t, name, AdvanceModRef(newProg, old, oldMR), ComputeModRef(newProg), newProg)
+	}
+}
+
+func TestAdvanceModRefIndirectCallsFallBack(t *testing.T) {
+	// The caller cutoff sees only direct calls, so indirect-call programs
+	// must take the full-recompute path and still come out exact.
+	src := `
+int g;
+fnptr fp;
+
+int touch(int a) {
+  g = g + a;
+  return a;
+}
+
+int main() {
+  fp = &touch;
+  int r = fp(3);
+  printf("%d\n", g + r);
+  return 0;
+}
+`
+	old := mrParse(t, src)
+	oldMR := ComputeModRef(old)
+	edited := strings.Replace(src, "g = g + a;", "g = a;", 1)
+	newProg := mrParse(t, edited)
+	modRefEqual(t, "indirect", AdvanceModRef(newProg, old, oldMR), ComputeModRef(newProg), newProg)
+}

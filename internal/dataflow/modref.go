@@ -82,6 +82,123 @@ func (mr *ModRef) FormalInGlobals(fn string) StringSet {
 // function (Andersen-style, flow-insensitive); programs transformed by the
 // funcptr package contain no indirect calls and get precise results.
 func ComputeModRef(prog *lang.Program) *ModRef {
+	return computeModRef(prog, prog.Funcs, nil)
+}
+
+// AdvanceModRef computes newProg's summaries incrementally against a
+// previous version: a procedure's GMOD/GREF/MustMod/UEREF depend only on
+// its own statements and its (transitive) callees' summaries, so every
+// procedure whose call subtree is textually unchanged keeps its old
+// summaries, and the fixpoints re-run only over the dirty region — the
+// edited procedures and their transitive callers. old is only read (its
+// sets are cloned, never aliased), so the previous version may keep
+// serving concurrently. Falls back to a full computation when the global
+// declarations or the address-taken function set changed (both are
+// program-wide inputs to every summary).
+func AdvanceModRef(newProg, oldProg *lang.Program, old *ModRef) *ModRef {
+	if old == nil || oldProg == nil {
+		return ComputeModRef(newProg)
+	}
+	// The caller-cutoff logic below tracks dependencies through direct
+	// calls only, so programs still containing indirect calls (callers
+	// invisible in the reverse call graph) get the full recomputation.
+	if hasIndirectCalls(newProg) || hasIndirectCalls(oldProg) {
+		return ComputeModRef(newProg)
+	}
+	diff := lang.DiffPrograms(oldProg, newProg)
+	if diff.GlobalsChanged || !sameStrings(addressTakenFuncs(oldProg), addressTakenFuncs(newProg)) {
+		return ComputeModRef(newProg)
+	}
+
+	// Dirty: textually changed or added procedures. Removed procedures
+	// need no entry — any caller they had must have changed textually to
+	// keep resolving. Callers of dirty procedures join the set lazily,
+	// change-driven: only when a dirty procedure's recomputed summaries
+	// actually differ from its old ones (the common statement edit
+	// preserves the summaries, and then no caller is ever reanalyzed).
+	dirty := map[string]bool{}
+	for _, name := range diff.Changed {
+		dirty[name] = true
+	}
+	for _, name := range diff.Added {
+		dirty[name] = true
+	}
+	oldHas := map[string]bool{}
+	for _, fn := range oldProg.Funcs {
+		oldHas[fn.Name] = true
+	}
+	// Reverse call graph of the new program (all calls are direct here —
+	// indirect-call programs took the full-recompute path above).
+	callers := map[string][]string{}
+	for _, fn := range newProg.Funcs {
+		seen := map[string]bool{}
+		for _, s := range fn.Stmts() {
+			if c, ok := s.(*lang.CallStmt); ok && !c.Indirect && !seen[c.Callee] {
+				seen[c.Callee] = true
+				callers[c.Callee] = append(callers[c.Callee], fn.Name)
+			}
+		}
+	}
+
+	for {
+		base := &ModRef{
+			GMOD:    map[string]StringSet{},
+			GREF:    map[string]StringSet{},
+			MustMod: map[string]StringSet{},
+			UEREF:   map[string]StringSet{},
+		}
+		var dirtyFns []*lang.FuncDecl
+		for _, fn := range newProg.Funcs {
+			if dirty[fn.Name] {
+				dirtyFns = append(dirtyFns, fn)
+				continue
+			}
+			base.GMOD[fn.Name] = old.GMOD[fn.Name].Clone()
+			base.GREF[fn.Name] = old.GREF[fn.Name].Clone()
+			base.MustMod[fn.Name] = old.MustMod[fn.Name].Clone()
+			base.UEREF[fn.Name] = old.UEREF[fn.Name].Clone()
+		}
+		mr := computeModRef(newProg, dirtyFns, base)
+
+		// Cutoff check: if every dirty procedure's summaries match its old
+		// ones, the callers outside the dirty set — computed against
+		// exactly those summaries — are still final. Otherwise pull the
+		// affected callers in and rerun; the set only grows, so this
+		// terminates.
+		grew := false
+		for _, fn := range dirtyFns {
+			name := fn.Name
+			if !oldHas[name] || summariesEqual(old, mr, name) {
+				continue
+			}
+			for _, caller := range callers[name] {
+				if !dirty[caller] {
+					dirty[caller] = true
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			return mr
+		}
+	}
+}
+
+// summariesEqual reports whether name's four summary sets agree between
+// two analyses.
+func summariesEqual(a, b *ModRef, name string) bool {
+	return a.GMOD[name].Equal(b.GMOD[name]) &&
+		a.GREF[name].Equal(b.GREF[name]) &&
+		a.MustMod[name].Equal(b.MustMod[name]) &&
+		a.UEREF[name].Equal(b.UEREF[name])
+}
+
+// computeModRef runs the summary fixpoints over fns only; base carries
+// final summaries for every other procedure (nil means fns covers the
+// whole program). Restricting the iteration is sound because the dirty
+// set is closed under callers: every procedure outside fns has its final
+// summaries in base, and summaries only flow callee -> caller.
+func computeModRef(prog *lang.Program, fns []*lang.FuncDecl, base *ModRef) *ModRef {
 	globals := StringSet{}
 	for _, g := range prog.Globals {
 		if !g.IsFnPtr {
@@ -90,13 +207,16 @@ func ComputeModRef(prog *lang.Program) *ModRef {
 	}
 	addressTaken := addressTakenFuncs(prog)
 
-	mr := &ModRef{
-		GMOD:    map[string]StringSet{},
-		GREF:    map[string]StringSet{},
-		MustMod: map[string]StringSet{},
-		UEREF:   map[string]StringSet{},
+	mr := base
+	if mr == nil {
+		mr = &ModRef{
+			GMOD:    map[string]StringSet{},
+			GREF:    map[string]StringSet{},
+			MustMod: map[string]StringSet{},
+			UEREF:   map[string]StringSet{},
+		}
 	}
-	for _, f := range prog.Funcs {
+	for _, f := range fns {
 		mr.GMOD[f.Name] = StringSet{}
 		mr.GREF[f.Name] = StringSet{}
 		mr.MustMod[f.Name] = globals.Clone() // top; shrinks to greatest fixed point
@@ -106,7 +226,7 @@ func ComputeModRef(prog *lang.Program) *ModRef {
 	// GMOD/GREF: least fixed point, growing.
 	for changed := true; changed; {
 		changed = false
-		for _, fn := range prog.Funcs {
+		for _, fn := range fns {
 			gm, gr := mr.GMOD[fn.Name], mr.GREF[fn.Name]
 			before := len(gm) + len(gr)
 			for _, s := range fn.Stmts() {
@@ -121,12 +241,12 @@ func ComputeModRef(prog *lang.Program) *ModRef {
 	// MustMod: greatest fixed point, shrinking. Needs a per-function
 	// forward must-analysis over the executable CFG.
 	graphs := map[string]*cfg.Graph{}
-	for _, fn := range prog.Funcs {
+	for _, fn := range fns {
 		graphs[fn.Name] = cfg.Build(fn)
 	}
 	for changed := true; changed; {
 		changed = false
-		for _, fn := range prog.Funcs {
+		for _, fn := range fns {
 			outs := mustDefOuts(prog, fn, graphs[fn.Name], globals, addressTaken, mr)
 			got := outs[graphs[fn.Name].Exit.ID]
 			if !got.Equal(mr.MustMod[fn.Name]) {
@@ -140,12 +260,12 @@ func ComputeModRef(prog *lang.Program) *ModRef {
 	// if some node uses it (directly, or via a callee's UEREF) at a point
 	// where it is not yet definitely assigned.
 	mustOuts := map[string][]StringSet{}
-	for _, fn := range prog.Funcs {
+	for _, fn := range fns {
 		mustOuts[fn.Name] = mustDefOuts(prog, fn, graphs[fn.Name], globals, addressTaken, mr)
 	}
 	for changed := true; changed; {
 		changed = false
-		for _, fn := range prog.Funcs {
+		for _, fn := range fns {
 			g := graphs[fn.Name]
 			outs := mustOuts[fn.Name]
 			ue := mr.UEREF[fn.Name]
@@ -168,6 +288,29 @@ func ComputeModRef(prog *lang.Program) *ModRef {
 		}
 	}
 	return mr
+}
+
+func hasIndirectCalls(prog *lang.Program) bool {
+	for _, fn := range prog.Funcs {
+		for _, s := range fn.Stmts() {
+			if c, ok := s.(*lang.CallStmt); ok && c.Indirect {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // mustDefIn computes the set of globals definitely assigned before node i

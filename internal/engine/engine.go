@@ -16,6 +16,7 @@ import (
 
 	"specslice/internal/core"
 	"specslice/internal/feature"
+	"specslice/internal/lang"
 	"specslice/internal/mono"
 	"specslice/internal/sdg"
 	"specslice/internal/slice"
@@ -31,11 +32,41 @@ type Engine struct {
 	enc     *core.Encoding
 
 	sumOnce sync.Once
+	// partialSummary marks an engine created by Advance over a graph whose
+	// summary edges were partially inherited: EnsureSummaryEdges then runs
+	// the seeded fixpoint over dirtyProcs instead of the full computation.
+	partialSummary bool
+	dirtyProcs     []int
 }
 
 // New returns an engine serving slice requests against g. The graph must
 // not be mutated externally afterwards.
 func New(g *sdg.Graph) *Engine { return &Engine{g: g} }
+
+// Advance returns a new engine for newProg that reuses every untouched
+// part of e's analysis state: procedure dependence graphs of unchanged
+// procedures are copied instead of recomputed (sdg.Advance), and summary
+// edges of call sites whose callee subtree is unchanged are inherited, so
+// only the edit's dirty region pays the summary fixpoint. The advanced
+// engine is indistinguishable from one built from scratch on newProg —
+// the incremental equivalence oracle holds poly and mono slices to
+// byte-identical outputs. e itself is untouched and keeps serving its own
+// program version; Advance may run while other goroutines slice through e.
+func (e *Engine) Advance(newProg *lang.Program) (*Engine, *sdg.DeltaStats, error) {
+	// Freeze e's graph (the summary fixpoint is its only mutation) before
+	// reading it, exactly like every slice request does.
+	e.EnsureSummaryEdges()
+	g2, delta, err := sdg.Advance(e.g, newProg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ne := &Engine{g: g2}
+	if delta.SummarySeeded {
+		ne.partialSummary = true
+		ne.dirtyProcs = delta.DirtyProcs
+	}
+	return ne, delta, nil
+}
 
 // Graph returns the underlying SDG.
 func (e *Engine) Graph() *sdg.Graph { return e.g }
@@ -62,7 +93,13 @@ func (e *Engine) Warm() error {
 // sync.Once before reading the graph, which is what makes the shared
 // engine safe for concurrent use.
 func (e *Engine) EnsureSummaryEdges() {
-	e.sumOnce.Do(func() { slice.ComputeSummaryEdges(e.g) })
+	e.sumOnce.Do(func() {
+		if e.partialSummary {
+			slice.ComputeSummaryEdgesPartial(e.g, e.dirtyProcs)
+		} else {
+			slice.ComputeSummaryEdges(e.g)
+		}
+	})
 }
 
 // Specialize runs the polyvariant specialization slicer (paper Alg. 1)
@@ -134,6 +171,13 @@ func (e *Engine) Footprint() int64 {
 	if reach, err := enc.Reachable(); err == nil {
 		n += int64(reach.NumStates())*stateBytes + int64(reach.NumTransitions())*transBytes
 	}
+	// Interned Prestar scratch survives between batches (pooled arenas
+	// keep their buckets), so it is part of what a byte-budgeted cache
+	// retains by holding this engine. Freshly built engines have not run
+	// a query yet, so charge at least the one-arena steady-state
+	// provision — otherwise the LRU charges engines before their scratch
+	// exists and under-evicts once traffic warms them.
+	n += max(enc.ScratchBytes(), enc.ScratchProvision())
 	return n
 }
 

@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"specslice/internal/core"
 	"specslice/internal/engine"
+	"specslice/internal/lang"
 	"specslice/internal/sdg"
 	"specslice/internal/workload"
 )
@@ -48,6 +51,16 @@ type EngineBench struct {
 	// Workers is the pool size SliceAll actually used.
 	WorkersRequested int `json:"batch_workers_requested"`
 	Workers          int `json:"batch_workers"`
+	// Incremental measurements: a chain of single-procedure edits on the
+	// AdvanceSuite program, each version analyzed both by Engine.Advance
+	// from the previous version and by a from-scratch build, warmed either
+	// way. AdvanceSpeedup = advance_cold_ns_per_op / incremental_ns_per_op
+	// (the PR gate requires >= 3x on tcas).
+	AdvanceSuite       string  `json:"advance_suite"`
+	AdvanceEdits       int     `json:"advance_edits"`
+	IncrementalNsPerOp float64 `json:"incremental_ns_per_op"`
+	AdvanceColdNsPerOp float64 `json:"advance_cold_ns_per_op"`
+	AdvanceSpeedup     float64 `json:"advance_speedup"`
 }
 
 func specOf(vs []sdg.VertexID) core.Configs {
@@ -169,6 +182,58 @@ func RunEngineBench(iters, workers int) (*EngineBench, error) {
 	}
 	if eb.BatchNs > 0 {
 		eb.BatchSpeedup = float64(eb.SeqNs) / float64(eb.BatchNs)
+	}
+
+	// Incremental: a chain of single-procedure edits on the tcas-sized
+	// suite. Each version is analyzed twice — advanced from the previous
+	// version's warmed engine, and cold-built from scratch — and both
+	// paths are warmed (summary edges, encoding, reachable automaton), so
+	// the ratio is end-to-end time-to-first-slice.
+	tc := workload.Benchmarks()[0] // tcas
+	eb.AdvanceSuite = tc.Name
+	baseSrc := workload.GenerateSource(tc)
+	const anchor = "int acc = a0 + a1 + a2;"
+	if !strings.Contains(baseSrc, anchor) {
+		return nil, fmt.Errorf("experiments: advance anchor %q not in %s suite", anchor, tc.Name)
+	}
+	edits := iters
+	if edits > 12 {
+		edits = 12
+	}
+	eb.AdvanceEdits = edits
+	cur := engine.New(sdg.MustBuild(lang.MustParse(baseSrc)))
+	if err := cur.Warm(); err != nil {
+		return nil, err
+	}
+	var incrNs, coldNs int64
+	for k := 1; k <= edits; k++ {
+		editedSrc := strings.Replace(baseSrc, anchor, fmt.Sprintf("int acc = a0 + a1 + a2 + %d;", k), 1)
+		advProg := lang.MustParse(editedSrc)
+		coldProg := lang.MustParse(editedSrc)
+
+		t0 = time.Now()
+		adv, _, err := cur.Advance(advProg)
+		if err != nil {
+			return nil, err
+		}
+		if err := adv.Warm(); err != nil {
+			return nil, err
+		}
+		incrNs += time.Since(t0).Nanoseconds()
+
+		t0 = time.Now()
+		cold := engine.New(sdg.MustBuild(coldProg))
+		if err := cold.Warm(); err != nil {
+			return nil, err
+		}
+		coldNs += time.Since(t0).Nanoseconds()
+
+		cur = adv
+	}
+	eb.IncrementalNsPerOp = float64(incrNs) / float64(edits)
+	eb.AdvanceColdNsPerOp = float64(coldNs) / float64(edits)
+	if eb.IncrementalNsPerOp > 0 {
+		eb.AdvanceSpeedup = eb.AdvanceColdNsPerOp / eb.IncrementalNsPerOp
 	}
 	return eb, nil
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// engineBenchRequiredKeys is the BENCH_engine.json schema contract: CI
+// regenerates the file on every push and fails if any of these keys
+// disappears, so perf trajectories stay machine-comparable across PRs.
+// Adding keys is fine; removing or renaming one must update this list,
+// the CI check, and README's schema documentation together.
+var engineBenchRequiredKeys = []string{
+	"gomaxprocs",
+	"iterations",
+	"cold_ns_per_op",
+	"warm_ns_per_op",
+	"warm_speedup",
+	"warm_allocs_per_op",
+	"warm_bytes_per_op",
+	"batch_suite",
+	"batch_size",
+	"batch_sequential_ns",
+	"batch_parallel_ns",
+	"batch_speedup",
+	"batch_workers_requested",
+	"batch_workers",
+	"advance_suite",
+	"advance_edits",
+	"incremental_ns_per_op",
+	"advance_cold_ns_per_op",
+	"advance_speedup",
+}
+
+func TestEngineBenchSchemaKeys(t *testing.T) {
+	// A zero-value EngineBench must already serialize every required key:
+	// none of them may be omitempty, or a failed sub-measurement would
+	// silently drop fields CI depends on.
+	data, err := json.Marshal(&EngineBench{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range engineBenchRequiredKeys {
+		if _, ok := m[k]; !ok {
+			t.Errorf("BENCH_engine.json schema regressed: key %q missing", k)
+		}
+	}
+}
+
+// TestRunEngineBenchSmoke runs one tiny iteration end to end, checking the
+// incremental measurement produces sane values (a real speedup ratio, not
+// NaN/zero placeholders).
+func TestRunEngineBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not -short")
+	}
+	eb, err := RunEngineBench(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.AdvanceSuite != "tcas" || eb.AdvanceEdits < 1 {
+		t.Errorf("advance suite/edits = %q/%d", eb.AdvanceSuite, eb.AdvanceEdits)
+	}
+	if eb.IncrementalNsPerOp <= 0 || eb.AdvanceColdNsPerOp <= 0 {
+		t.Errorf("incremental %v / cold %v ns per op not measured", eb.IncrementalNsPerOp, eb.AdvanceColdNsPerOp)
+	}
+	if eb.AdvanceSpeedup <= 0 {
+		t.Errorf("advance speedup = %v, want > 0", eb.AdvanceSpeedup)
+	}
+}

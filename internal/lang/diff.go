@@ -1,0 +1,102 @@
+package lang
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// ProcHash returns a normalization-stable content hash of one function: the
+// FNV-64a of its pretty-printed source. Because Print renders the normalized
+// AST, two versions of a procedure that differ only in whitespace, comments,
+// or pre-normalization call nesting hash identically, while any change to
+// its signature, statements, or referenced names changes the hash. Source
+// positions are not part of the printed form, so edits elsewhere in the file
+// that merely shift a procedure's lines leave its hash untouched.
+func ProcHash(f *FuncDecl) uint64 {
+	h := fnv.New64a()
+	var sb strings.Builder
+	printFunc(&sb, f)
+	h.Write([]byte(sb.String()))
+	return h.Sum64()
+}
+
+// GlobalsHash returns a content hash of the program's global declarations
+// (names, order, and fnptr-ness), in the same normalization-stable sense as
+// ProcHash.
+func GlobalsHash(p *Program) uint64 {
+	h := fnv.New64a()
+	for _, g := range p.Globals {
+		ty := "int"
+		if g.IsFnPtr {
+			ty = "fnptr"
+		}
+		h.Write([]byte(ty))
+		h.Write([]byte{' '})
+		h.Write([]byte(g.Name))
+		h.Write([]byte{';'})
+	}
+	return h.Sum64()
+}
+
+// ProgramDiff classifies an edit between two program versions at procedure
+// granularity. Procedures are matched by name: a rename therefore shows up
+// as one removal plus one addition, which is exactly how a
+// dependence-graph-level consumer must treat it (call sites referring to
+// the old name are gone, sites referring to the new name are new).
+type ProgramDiff struct {
+	// Unchanged lists procedures present in both versions with identical
+	// normalized source (ProcHash), sorted by name.
+	Unchanged []string
+	// Changed lists procedures present in both versions whose normalized
+	// source differs, sorted by name.
+	Changed []string
+	// Added / Removed list procedures present only in the new / old
+	// version, sorted by name.
+	Added   []string
+	Removed []string
+	// GlobalsChanged reports whether the global declarations differ.
+	GlobalsChanged bool
+}
+
+// HasChanges reports whether the diff is non-empty.
+func (d ProgramDiff) HasChanges() bool {
+	return len(d.Changed)+len(d.Added)+len(d.Removed) > 0 || d.GlobalsChanged
+}
+
+// DiffPrograms compares two parsed (normalized) programs procedure by
+// procedure. It is the front half of incremental SDG construction: the
+// caller combines the textual classification with interprocedural side
+// effects (mod/ref interfaces) to decide which procedure dependence graphs
+// can be reused.
+func DiffPrograms(old, new *Program) ProgramDiff {
+	oldHash := map[string]uint64{}
+	for _, f := range old.Funcs {
+		oldHash[f.Name] = ProcHash(f)
+	}
+	var d ProgramDiff
+	seen := map[string]bool{}
+	for _, f := range new.Funcs {
+		seen[f.Name] = true
+		h, ok := oldHash[f.Name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, f.Name)
+		case h == ProcHash(f):
+			d.Unchanged = append(d.Unchanged, f.Name)
+		default:
+			d.Changed = append(d.Changed, f.Name)
+		}
+	}
+	for _, f := range old.Funcs {
+		if !seen[f.Name] {
+			d.Removed = append(d.Removed, f.Name)
+		}
+	}
+	sort.Strings(d.Unchanged)
+	sort.Strings(d.Changed)
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	d.GlobalsChanged = GlobalsHash(old) != GlobalsHash(new)
+	return d
+}

@@ -1,0 +1,143 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const diffBase = `
+int g;
+int h;
+
+int helper(int a) {
+  return a + 1;
+}
+
+void sink(int v) {
+  g = v;
+}
+
+int main() {
+  int x = 3;
+  x = helper(x);
+  sink(x);
+  printf("%d\n", g);
+  return 0;
+}
+`
+
+func parseT(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestProcHashStableUnderReformat(t *testing.T) {
+	a := parseT(t, diffBase)
+	// Same program, scrambled whitespace and redundant formatting.
+	b := parseT(t, strings.ReplaceAll(diffBase, "\n  ", "\n      "))
+	for _, f := range a.Funcs {
+		g := b.Func(f.Name)
+		if g == nil {
+			t.Fatalf("missing %s in reformatted program", f.Name)
+		}
+		if ProcHash(f) != ProcHash(g) {
+			t.Errorf("%s: hash changed under reformatting", f.Name)
+		}
+	}
+	d := DiffPrograms(a, b)
+	if d.HasChanges() {
+		t.Errorf("reformat diff not empty: %+v", d)
+	}
+}
+
+func TestProcHashStableUnderCallNesting(t *testing.T) {
+	// `x = helper(x); sink(x);` vs the pre-normalization nested form
+	// `sink(helper(x));` normalize to call statements either way; the
+	// procedures that did not change must hash identically.
+	a := parseT(t, diffBase)
+	b := parseT(t, strings.Replace(diffBase,
+		"x = helper(x);\n  sink(x);", "sink(helper(x));", 1))
+	for _, name := range []string{"helper", "sink"} {
+		if ProcHash(a.Func(name)) != ProcHash(b.Func(name)) {
+			t.Errorf("%s: hash changed though procedure untouched", name)
+		}
+	}
+	d := DiffPrograms(a, b)
+	if got, want := strings.Join(d.Changed, ","), "main"; got != want {
+		t.Errorf("Changed = %q, want %q", got, want)
+	}
+	if len(d.Added)+len(d.Removed) != 0 || d.GlobalsChanged {
+		t.Errorf("unexpected add/remove/global changes: %+v", d)
+	}
+}
+
+func TestDiffClassification(t *testing.T) {
+	old := parseT(t, diffBase)
+	tests := []struct {
+		name           string
+		src            string
+		unchanged      string
+		changed        string
+		added          string
+		removed        string
+		globalsChanged bool
+	}{
+		{
+			name:      "identical",
+			src:       diffBase,
+			unchanged: "helper,main,sink",
+		},
+		{
+			name:      "statement edit",
+			src:       strings.Replace(diffBase, "return a + 1;", "return a + 2;", 1),
+			unchanged: "main,sink",
+			changed:   "helper",
+		},
+		{
+			name: "procedure added",
+			src: strings.Replace(diffBase, "int main", `int extra(int z) {
+  return z * 2;
+}
+
+int main`, 1),
+			unchanged: "helper,main,sink",
+			added:     "extra",
+		},
+		{
+			name: "procedure renamed = removed + added",
+			src: strings.NewReplacer("helper(", "assist(", "int helper", "int assist").
+				Replace(diffBase),
+			unchanged: "sink",
+			changed:   "main", // its call site now names assist
+			added:     "assist",
+			removed:   "helper",
+		},
+		{
+			name:           "global added",
+			src:            strings.Replace(diffBase, "int g;", "int g;\nint extra_g;", 1),
+			unchanged:      "helper,main,sink",
+			globalsChanged: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := DiffPrograms(old, parseT(t, tc.src))
+			check := func(what string, got []string, want string) {
+				if s := strings.Join(got, ","); s != want {
+					t.Errorf("%s = %q, want %q", what, s, want)
+				}
+			}
+			check("Unchanged", d.Unchanged, tc.unchanged)
+			check("Changed", d.Changed, tc.changed)
+			check("Added", d.Added, tc.added)
+			check("Removed", d.Removed, tc.removed)
+			if d.GlobalsChanged != tc.globalsChanged {
+				t.Errorf("GlobalsChanged = %v, want %v", d.GlobalsChanged, tc.globalsChanged)
+			}
+		})
+	}
+}

@@ -68,13 +68,22 @@ type dyn struct {
 // PrestarEngine answers repeated Prestar queries over one fixed PDS: the
 // static rule indexes are built once at construction, and each run draws
 // its worklist state (worklist, rel index, Δ′ rules) from a reusable arena
-// pool. A single engine is safe for concurrent use.
+// free list. A single engine is safe for concurrent use.
+//
+// The free list is explicit (not a sync.Pool) so the engine can account
+// the scratch it retains between batches: cleared maps keep their buckets
+// and the worklist keeps its capacity, which for a long-lived engine is
+// real heap pinned by the interned saturation state of past queries.
+// ScratchBytes reports it, and engine.Footprint charges it to the
+// content-addressed cache's byte budget.
 type PrestarEngine struct {
 	p        *PDS
 	internal map[locSym][]Rule // internal rules indexed by RHS <q, γ>
 	push     map[locSym][]Rule // push rules indexed by RHS head <q, γ>
 	pops     []Rule
-	arenas   sync.Pool
+
+	mu   sync.Mutex
+	free []*prestarArena
 }
 
 // prestarArena holds the per-run mutable state, reused across runs to keep
@@ -85,14 +94,81 @@ type prestarArena struct {
 	relBySrc map[locSym][]int
 	dynRules map[locSym][]dyn
 	dynSeen  map[[4]int]bool
+	// High-water populations. reset clears the maps but their buckets (and
+	// the worklist backing array) stay allocated, so retained bytes follow
+	// the largest run, not the current one.
+	hwWork, hwRel, hwDyn int
 }
 
 func (a *prestarArena) reset() {
+	a.hwWork = max(a.hwWork, cap(a.work))
+	a.hwRel = max(a.hwRel, len(a.relSeen))
+	a.hwDyn = max(a.hwDyn, len(a.dynSeen))
 	a.work = a.work[:0]
 	clear(a.relSeen)
 	clear(a.relBySrc)
 	clear(a.dynRules)
 	clear(a.dynSeen)
+}
+
+func (e *PrestarEngine) getArena() *prestarArena {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.free); n > 0 {
+		ar := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ar
+	}
+	return &prestarArena{
+		relSeen:  map[fsa.Transition]bool{},
+		relBySrc: map[locSym][]int{},
+		dynRules: map[locSym][]dyn{},
+		dynSeen:  map[[4]int]bool{},
+	}
+}
+
+func (e *PrestarEngine) putArena(ar *prestarArena) {
+	ar.reset()
+	e.mu.Lock()
+	e.free = append(e.free, ar)
+	e.mu.Unlock()
+}
+
+// Per-entry scratch estimates, deliberately coarse like engine.Footprint's
+// graph constants: a worklist slot is one Transition; a rel transition
+// costs a relSeen map entry plus a relBySrc index slot; a Δ′ rule costs a
+// dynSeen entry plus a dynRules slot.
+const (
+	scratchWorkBytes = 24  // fsa.Transition
+	scratchRelBytes  = 104 // relSeen entry + relBySrc slot
+	scratchDynBytes  = 112 // dynSeen entry + dynRules slot
+)
+
+// ScratchBytes estimates the heap retained by the engine's pooled arenas
+// between queries. Arenas checked out by in-flight queries are not
+// counted; between batches every arena is on the free list, which is when
+// cache byte budgets are enforced.
+func (e *PrestarEngine) ScratchBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var n int64
+	for _, ar := range e.free {
+		n += int64(ar.hwWork)*scratchWorkBytes +
+			int64(ar.hwRel)*scratchRelBytes +
+			int64(ar.hwDyn)*scratchDynBytes
+	}
+	return n
+}
+
+// ScratchProvision estimates the steady-state scratch of a single arena
+// before any query has run: saturation materializes at least the rel
+// transitions its rules can derive, so a freshly built engine charged into
+// a byte-budgeted cache reserves this much for the scratch its first
+// queries will pin. Without it, a cache would charge engines at insert
+// time (when ScratchBytes is still zero) and then silently exceed its
+// budget once traffic warms the arenas.
+func (e *PrestarEngine) ScratchProvision() int64 {
+	return int64(len(e.p.Rules)) * scratchRelBytes
 }
 
 // NewPrestarEngine indexes the rules of p for repeated Prestar queries.
@@ -114,14 +190,6 @@ func NewPrestarEngine(p *PDS) *PrestarEngine {
 			e.push[k] = append(e.push[k], r)
 		}
 	}
-	e.arenas.New = func() any {
-		return &prestarArena{
-			relSeen:  map[fsa.Transition]bool{},
-			relBySrc: map[locSym][]int{},
-			dynRules: map[locSym][]dyn{},
-			dynSeen:  map[[4]int]bool{},
-		}
-	}
 	return e
 }
 
@@ -133,11 +201,8 @@ func (e *PrestarEngine) Prestar(a *fsa.FSA) *fsa.FSA {
 		res.AddState()
 	}
 
-	ar := e.arenas.Get().(*prestarArena)
-	defer func() {
-		ar.reset()
-		e.arenas.Put(ar)
-	}()
+	ar := e.getArena()
+	defer e.putArena(ar)
 	relSeen, relBySrc := ar.relSeen, ar.relBySrc
 	dynRules, dynSeen := ar.dynRules, ar.dynSeen
 	work := ar.work

@@ -27,6 +27,8 @@ func Build(prog *lang.Program) (*Graph, error) {
 		g: &Graph{
 			Prog:       prog,
 			ProcByName: map[string]int{},
+			buildSigs:  computeBuildSigs(prog, mr),
+			modref:     mr,
 		},
 		mr: mr,
 	}
@@ -130,10 +132,6 @@ func (b *builder) buildProcBody(p *Proc) error {
 	info := make([]nodeInfo, len(graph.Nodes))
 	for i := range info {
 		info[i].vertex = -1
-	}
-	globalSet := dataflow.StringSet{}
-	for _, gn := range SortedGlobals(b.g.Prog) {
-		globalSet[gn] = true
 	}
 
 	// Entry node: formal-ins define their variables.

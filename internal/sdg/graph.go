@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"specslice/internal/dataflow"
 	"specslice/internal/lang"
 )
 
@@ -131,6 +132,15 @@ type Graph struct {
 	// the packed (from, kind, to) int. It is nil until the first AddEdge
 	// call.
 	edgeSet map[uint64]struct{}
+	// buildSigs maps each procedure name to its build signature: a hash of
+	// every input its PDG construction depends on (normalized source plus
+	// its own and its callees' mod/ref interfaces). Advance reuses a
+	// procedure's PDG exactly when its signature is unchanged.
+	buildSigs map[string]uint64
+	// modref caches the program's interprocedural mod/ref analysis, so
+	// Advance can reuse the summaries of procedures whose call subtree an
+	// edit did not touch instead of re-running the fixpoints program-wide.
+	modref *dataflow.ModRef
 	// summariesDone records that the summary-edge fixpoint has been reached,
 	// so recomputation can be skipped (see slice.ComputeSummaryEdges).
 	summariesDone bool

@@ -6,6 +6,9 @@
 // engine — and held in an LRU bounded by an entry count and a byte budget
 // (engine.Footprint). Concurrent requests for a program not yet cached are
 // deduplicated: one request builds, the rest wait for the same engine.
+// Entries are linked into version chains (FamilyKey): a request for a new
+// version of an already-cached program advances the cached engine through
+// the edit (Engine.Advance) instead of rebuilding from scratch.
 package server
 
 import (
@@ -27,14 +30,35 @@ func ContentKey(normalizedSource string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// FamilyKey returns the version-chain key of a program: the hex SHA-256 of
+// its sorted procedure names. Two versions of the same evolving program
+// almost always share a family (statement edits, renames of locals, call
+// edits), so a near-miss ContentKey can resolve to the family's most
+// recent engine and advance it instead of cold-building. Procedure
+// additions, removals, and renames start a new chain — exactly the edits
+// for which most of the old analysis would be invalidated anyway.
+func FamilyKey(sortedProcNames []string) string {
+	h := sha256.New()
+	for _, n := range sortedProcNames {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // CacheStats is a snapshot of the engine cache's counters. The counters
-// satisfy Hits+Misses == lookups and Builds+BuildErrors+Deduped == Misses,
-// which the server load test asserts under concurrency.
+// satisfy Hits+Misses == lookups, Builds+BuildErrors+Deduped == Misses,
+// and Advances+ColdBuilds == Builds, which the server load tests assert
+// under concurrency.
 type CacheStats struct {
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Deduped     int64 `json:"builds_deduped"` // misses that joined an in-flight build
-	Builds      int64 `json:"builds"`         // completed engine builds
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Deduped int64 `json:"builds_deduped"` // misses that joined an in-flight build
+	Builds  int64 `json:"builds"`         // completed engine builds
+	// Advances counts builds served by advancing a version-chain ancestor;
+	// ColdBuilds counts builds that analyzed the program from scratch.
+	Advances    int64 `json:"advances"`
+	ColdBuilds  int64 `json:"cold_builds"`
 	BuildErrors int64 `json:"build_errors"`
 	Evictions   int64 `json:"evictions"`
 	InFlight    int64 `json:"in_flight_builds"` // gauge
@@ -42,7 +66,10 @@ type CacheStats struct {
 	Bytes       int64 `json:"bytes"`
 }
 
-// EngineCache is a content-addressed LRU of warmed slicing engines.
+// EngineCache is a content-addressed LRU of warmed slicing engines with
+// version chains: each family (FamilyKey) remembers its most recently
+// built member, and a miss whose family has a cached member hands that
+// engine to the build callback as an ancestor to advance.
 type EngineCache struct {
 	maxEntries int
 	maxBytes   int64
@@ -51,20 +78,25 @@ type EngineCache struct {
 	entries  map[string]*list.Element
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	building map[string]*buildCall
+	// families maps FamilyKey -> ContentKey of the family's most recently
+	// built member still in the cache.
+	families map[string]string
 	stats    CacheStats
 }
 
 type cacheEntry struct {
-	key   string
-	eng   *specslice.Engine
-	bytes int64
+	key    string
+	family string
+	eng    *specslice.Engine
+	bytes  int64
 }
 
 // buildCall is the singleflight cell for one in-flight engine build.
 type buildCall struct {
-	done chan struct{}
-	eng  *specslice.Engine
-	err  error
+	done     chan struct{}
+	eng      *specslice.Engine
+	advanced bool
+	err      error
 }
 
 // NewEngineCache returns a cache evicting past maxEntries entries or
@@ -77,36 +109,50 @@ func NewEngineCache(maxEntries int, maxBytes int64) *EngineCache {
 		entries:    map[string]*list.Element{},
 		lru:        list.New(),
 		building:   map[string]*buildCall{},
+		families:   map[string]string{},
 	}
 }
 
 // Get returns the engine cached under key, building it with build on a
 // miss. Build runs outside the cache lock; concurrent misses on one key
-// share a single build. Build errors are returned to every waiter and are
-// not cached — the next request retries.
-func (c *EngineCache) Get(key string, build func() (*specslice.Engine, error)) (eng *specslice.Engine, hit bool, err error) {
+// share a single build. On a miss whose family has a cached member, that
+// member's engine is passed to build as ancestor — the callback advances
+// it instead of cold-building and reports which path it took. Build
+// errors are returned to every waiter and are not cached — the next
+// request retries.
+func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Engine) (*specslice.Engine, bool, error)) (eng *specslice.Engine, hit, advanced bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
 		eng := el.Value.(*cacheEntry).eng
 		c.mu.Unlock()
-		return eng, true, nil
+		return eng, true, false, nil
 	}
 	c.stats.Misses++
 	if call, ok := c.building[key]; ok {
 		c.stats.Deduped++
 		c.mu.Unlock()
 		<-call.done
-		return call.eng, false, call.err
+		return call.eng, false, call.advanced, call.err
 	}
 	call := &buildCall{done: make(chan struct{})}
 	c.building[key] = call
 	c.stats.InFlight++
+	// Version-chain lookup: the family's most recent member, if still
+	// cached, becomes the ancestor. Using it concurrently is safe — an
+	// engine's analysis state is frozen once built, and Advance only
+	// reads it.
+	var ancestor *specslice.Engine
+	if ak, ok := c.families[family]; ok {
+		if el, ok := c.entries[ak]; ok {
+			ancestor = el.Value.(*cacheEntry).eng
+		}
+	}
 	c.mu.Unlock()
 
 	var bytes int64
-	call.eng, bytes, call.err = runBuild(build)
+	call.eng, call.advanced, bytes, call.err = runBuild(ancestor, build)
 
 	c.mu.Lock()
 	delete(c.building, key)
@@ -115,8 +161,14 @@ func (c *EngineCache) Get(key string, build func() (*specslice.Engine, error)) (
 		c.stats.BuildErrors++
 	} else {
 		c.stats.Builds++
-		el := c.lru.PushFront(&cacheEntry{key: key, eng: call.eng, bytes: bytes})
+		if call.advanced {
+			c.stats.Advances++
+		} else {
+			c.stats.ColdBuilds++
+		}
+		el := c.lru.PushFront(&cacheEntry{key: key, family: family, eng: call.eng, bytes: bytes})
 		c.entries[key] = el
+		c.families[family] = key
 		c.stats.Bytes += bytes
 		// Evict from the cold end. The just-inserted entry is never evicted
 		// (it is in use by this request); an engine bigger than the whole
@@ -128,7 +180,7 @@ func (c *EngineCache) Get(key string, build func() (*specslice.Engine, error)) (
 	c.stats.Entries = c.lru.Len()
 	c.mu.Unlock()
 	close(call.done)
-	return call.eng, false, call.err
+	return call.eng, false, call.advanced, call.err
 }
 
 // runBuild runs the build plus the engine warm-up (Footprint warms every
@@ -138,17 +190,17 @@ func (c *EngineCache) Get(key string, build func() (*specslice.Engine, error)) (
 // it per-connection, so the server survives) would leave the key's
 // buildCall registered forever with an unclosed done channel — wedging
 // every later request for that program.
-func runBuild(build func() (*specslice.Engine, error)) (eng *specslice.Engine, bytes int64, err error) {
+func runBuild(ancestor *specslice.Engine, build func(*specslice.Engine) (*specslice.Engine, bool, error)) (eng *specslice.Engine, advanced bool, bytes int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			eng, bytes, err = nil, 0, fmt.Errorf("server: engine build panicked: %v", r)
+			eng, advanced, bytes, err = nil, false, 0, fmt.Errorf("server: engine build panicked: %v", r)
 		}
 	}()
-	eng, err = build()
+	eng, advanced, err = build(ancestor)
 	if err != nil {
-		return nil, 0, err
+		return nil, false, 0, err
 	}
-	return eng, eng.Footprint(), nil
+	return eng, advanced, eng.Footprint(), nil
 }
 
 func (c *EngineCache) overBudget() bool {
@@ -166,6 +218,11 @@ func (c *EngineCache) evictOldest() {
 	ent := el.Value.(*cacheEntry)
 	c.lru.Remove(el)
 	delete(c.entries, ent.key)
+	// Drop the version-chain head if it pointed at the evicted entry; the
+	// family's next build will be cold (or advance a newer member).
+	if c.families[ent.family] == ent.key {
+		delete(c.families, ent.family)
+	}
 	c.stats.Bytes -= ent.bytes
 	c.stats.Evictions++
 }

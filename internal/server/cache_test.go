@@ -28,6 +28,17 @@ func buildEngine(t *testing.T, src string, builds *atomic.Int64, delay time.Dura
 	}
 }
 
+// get calls cache.Get with a per-key family — no version chains, so these
+// tests exercise pure LRU/singleflight semantics; chain behavior has its
+// own tests (version_test.go).
+func get(cache *EngineCache, key string, build func() (*specslice.Engine, error)) (*specslice.Engine, bool, error) {
+	eng, hit, _, err := cache.Get(key, "fam:"+key, func(*specslice.Engine) (*specslice.Engine, bool, error) {
+		e, err := build()
+		return e, false, err
+	})
+	return eng, hit, err
+}
+
 func TestContentKeyNormalization(t *testing.T) {
 	a := specslice.MustParse(workload.Fig1Source)
 	b := specslice.MustParse("  // comment\n" + workload.Fig1Source + "\n\n")
@@ -47,22 +58,22 @@ func TestCacheHitAndLRUEviction(t *testing.T) {
 
 	// Fill: fig1, fig2. Both miss.
 	for _, src := range srcs[:2] {
-		if _, hit, err := cache.Get(ContentKey(src), buildEngine(t, src, &builds, 0)); err != nil || hit {
+		if _, hit, err := get(cache, ContentKey(src), buildEngine(t, src, &builds, 0)); err != nil || hit {
 			t.Fatalf("fill: hit=%v err=%v", hit, err)
 		}
 	}
 	// fig1 again: hit, and moves to the front.
-	if _, hit, err := cache.Get(ContentKey(srcs[0]), buildEngine(t, srcs[0], &builds, 0)); err != nil || !hit {
+	if _, hit, err := get(cache, ContentKey(srcs[0]), buildEngine(t, srcs[0], &builds, 0)); err != nil || !hit {
 		t.Fatalf("refresh: hit=%v err=%v", hit, err)
 	}
 	// fig16 evicts the cold entry (fig2).
-	if _, hit, _ := cache.Get(ContentKey(srcs[2]), buildEngine(t, srcs[2], &builds, 0)); hit {
+	if _, hit, _ := get(cache, ContentKey(srcs[2]), buildEngine(t, srcs[2], &builds, 0)); hit {
 		t.Fatal("fig16 cannot hit")
 	}
-	if _, hit, _ := cache.Get(ContentKey(srcs[0]), buildEngine(t, srcs[0], &builds, 0)); !hit {
+	if _, hit, _ := get(cache, ContentKey(srcs[0]), buildEngine(t, srcs[0], &builds, 0)); !hit {
 		t.Error("fig1 should have survived the eviction (recently used)")
 	}
-	if _, hit, _ := cache.Get(ContentKey(srcs[1]), buildEngine(t, srcs[1], &builds, 0)); hit {
+	if _, hit, _ := get(cache, ContentKey(srcs[1]), buildEngine(t, srcs[1], &builds, 0)); hit {
 		t.Error("fig2 should have been evicted")
 	}
 
@@ -92,8 +103,8 @@ func TestCacheByteBudget(t *testing.T) {
 
 	cache := NewEngineCache(-1, budget)
 	var builds atomic.Int64
-	cache.Get(ContentKey("a"), buildEngine(t, workload.Fig1Source, &builds, 0))
-	cache.Get(ContentKey("b"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	get(cache, ContentKey("a"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	get(cache, ContentKey("b"), buildEngine(t, workload.Fig1Source, &builds, 0))
 	st := cache.Stats()
 	if st.Evictions != 1 || st.Entries != 1 {
 		t.Errorf("evictions=%d entries=%d, want 1/1", st.Evictions, st.Entries)
@@ -105,11 +116,11 @@ func TestCacheByteBudget(t *testing.T) {
 	// An engine alone over budget stays cached (never evict the entry a
 	// request is using) until the next insert displaces it.
 	small := NewEngineCache(-1, 1)
-	small.Get(ContentKey("solo"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	get(small, ContentKey("solo"), buildEngine(t, workload.Fig1Source, &builds, 0))
 	if st := small.Stats(); st.Entries != 1 || st.Evictions != 0 {
 		t.Errorf("solo oversized entry: %+v", st)
 	}
-	small.Get(ContentKey("solo2"), buildEngine(t, workload.Fig1Source, &builds, 0))
+	get(small, ContentKey("solo2"), buildEngine(t, workload.Fig1Source, &builds, 0))
 	if st := small.Stats(); st.Entries != 1 || st.Evictions != 1 {
 		t.Errorf("displaced oversized entry: %+v", st)
 	}
@@ -127,7 +138,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			eng, _, err := cache.Get(key, buildEngine(t, workload.Fig16Source, &builds, 20*time.Millisecond))
+			eng, _, err := get(cache, key, buildEngine(t, workload.Fig16Source, &builds, 20*time.Millisecond))
 			if err != nil {
 				t.Error(err)
 			}
@@ -161,7 +172,7 @@ func TestCacheBuildErrorNotCached(t *testing.T) {
 	fail := func() (*specslice.Engine, error) { calls.Add(1); return nil, wantErr }
 
 	for i := 0; i < 3; i++ {
-		if _, _, err := cache.Get(key, fail); !errors.Is(err, wantErr) {
+		if _, _, err := get(cache, key, fail); !errors.Is(err, wantErr) {
 			t.Fatalf("get %d: err = %v", i, err)
 		}
 	}
@@ -175,10 +186,10 @@ func TestCacheBuildErrorNotCached(t *testing.T) {
 
 	// The key still works once the program builds.
 	var builds atomic.Int64
-	if _, _, err := cache.Get(key, buildEngine(t, workload.Fig1Source, &builds, 0)); err != nil {
+	if _, _, err := get(cache, key, buildEngine(t, workload.Fig1Source, &builds, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, hit, _ := cache.Get(key, fail); !hit {
+	if _, hit, _ := get(cache, key, fail); !hit {
 		t.Error("recovered key should now hit")
 	}
 }
@@ -186,7 +197,7 @@ func TestCacheBuildErrorNotCached(t *testing.T) {
 func TestCacheBuildPanicDoesNotWedgeKey(t *testing.T) {
 	cache := NewEngineCache(8, -1)
 	key := ContentKey("panicky")
-	if _, _, err := cache.Get(key, func() (*specslice.Engine, error) {
+	if _, _, err := get(cache, key, func() (*specslice.Engine, error) {
 		panic("adversarial program")
 	}); err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panicking build: err = %v, want a panic-wrapping error", err)
@@ -197,10 +208,10 @@ func TestCacheBuildPanicDoesNotWedgeKey(t *testing.T) {
 	}
 	// The key must stay usable: a later good build succeeds and caches.
 	var builds atomic.Int64
-	if _, _, err := cache.Get(key, buildEngine(t, workload.Fig1Source, &builds, 0)); err != nil {
+	if _, _, err := get(cache, key, buildEngine(t, workload.Fig1Source, &builds, 0)); err != nil {
 		t.Fatalf("key wedged after panic: %v", err)
 	}
-	if _, hit, _ := cache.Get(key, buildEngine(t, workload.Fig1Source, &builds, 0)); !hit {
+	if _, hit, _ := get(cache, key, buildEngine(t, workload.Fig1Source, &builds, 0)); !hit {
 		t.Error("recovered key should hit")
 	}
 }
@@ -216,7 +227,7 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 			defer wg.Done()
 			src := srcs[i%len(srcs)]
 			for r := 0; r < 4; r++ {
-				if _, _, err := cache.Get(ContentKey(src), buildEngine(t, src, &builds, 0)); err != nil {
+				if _, _, err := get(cache, ContentKey(src), buildEngine(t, src, &builds, 0)); err != nil {
 					t.Errorf("worker %d: %v", i, err)
 				}
 			}

@@ -142,7 +142,11 @@ type SliceResponse struct {
 	// ProgramKey is the content address of the lang-normalized program.
 	ProgramKey string `json:"program_key"`
 	// CacheHit reports whether the engine was served warm from the cache.
-	CacheHit bool          `json:"cache_hit"`
+	CacheHit bool `json:"cache_hit"`
+	// Advanced reports that the engine was built by advancing a cached
+	// ancestor version of the same program family instead of analyzing
+	// from scratch (version-chain semantics; see FamilyKey).
+	Advanced bool          `json:"advanced,omitempty"`
 	Results  []SliceResult `json:"results"`
 	// Stats aggregates the batch, including the Fig. 21 phase breakdown.
 	Stats specslice.BatchStats `json:"stats"`
@@ -239,7 +243,8 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := prog.Source()
 	key := ContentKey(norm)
-	eng, hit, err := s.cache.Get(key, func() (*specslice.Engine, error) {
+	family := FamilyKey(prog.ProcNames())
+	eng, hit, advanced, err := s.cache.Get(key, family, func(ancestor *specslice.Engine) (*specslice.Engine, bool, error) {
 		// Build from the canonical normalized source, not the request
 		// text: every normalization-equivalent request must observe the
 		// same engine, including source positions — a line criterion
@@ -247,13 +252,24 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		// matter whose formatting populated the cache.
 		canon, err := specslice.Parse(norm)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		p, err := canon.EliminateIndirectCalls()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return p.Engine()
+		// Version chain: a near-miss key with a cached ancestor in the
+		// same family advances the ancestor's analysis state through the
+		// edit instead of cold-building. An advance failure (e.g. the
+		// transformed program acquired indirect-call dispatchers the
+		// ancestor lacks) falls back to a cold build.
+		if ancestor != nil {
+			if neng, _, err := ancestor.Advance(p); err == nil {
+				return neng, true, nil
+			}
+		}
+		neng, err := p.Engine()
+		return neng, false, err
 	})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "program does not analyze: %v", err)
@@ -276,7 +292,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	}
 	results, stats := eng.SliceAll(reqs, specslice.BatchOptions{Workers: workers})
 
-	resp := SliceResponse{ProgramKey: key, CacheHit: hit, Stats: stats}
+	resp := SliceResponse{ProgramKey: key, CacheHit: hit, Advanced: advanced, Stats: stats}
 	for i, res := range results {
 		out := SliceResult{
 			Label:      res.Label,

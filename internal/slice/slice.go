@@ -65,6 +65,34 @@ func ComputeSummaryEdges(g *sdg.Graph) {
 		return
 	}
 	defer g.MarkSummariesComputed()
+	summaryFixpoint(g, g.Procs)
+}
+
+// ComputeSummaryEdgesPartial completes the summary edges of a graph built
+// by sdg.Advance: valid edges inherited from the previous version are
+// already present, and only the listed procedures (new-graph indexes,
+// sdg.DeltaStats.DirtyProcs) need their formal-out pair propagation
+// re-run. Seeding the worklist with just those procedures is sound because
+// every call site Advance did not seed has its callee in the dirty set,
+// and pair propagation within a clean procedure only ever traverses its
+// own PDG plus the (already seeded) summary edges at its sites. Like
+// ComputeSummaryEdges, it is idempotent through the graph's
+// summaries-computed mark.
+func ComputeSummaryEdgesPartial(g *sdg.Graph, procs []int) {
+	if g.SummariesComputed() {
+		return
+	}
+	defer g.MarkSummariesComputed()
+	seeds := make([]*sdg.Proc, len(procs))
+	for i, pi := range procs {
+		seeds[i] = g.Procs[pi]
+	}
+	summaryFixpoint(g, seeds)
+}
+
+// summaryFixpoint runs the HRB summary worklist over g, seeding the
+// (vertex, formal-out) pairs from the formal-outs of seedProcs.
+func summaryFixpoint(g *sdg.Graph, seedProcs []*sdg.Proc) {
 	type pair struct {
 		v  sdg.VertexID
 		fo sdg.VertexID
@@ -111,7 +139,7 @@ func ComputeSummaryEdges(g *sdg.Graph) {
 		return 0, false
 	}
 
-	for _, p := range g.Procs {
+	for _, p := range seedProcs {
 		for _, fo := range p.FormalOuts {
 			add(fo, fo)
 		}

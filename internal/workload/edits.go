@@ -1,0 +1,435 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"specslice/internal/lang"
+)
+
+// Editor applies a reproducible stream of random, validity-preserving edits
+// to a MicroC program — the workload of clients that re-slice the same
+// program after each change (IDE sessions, automated-repair loops). Every
+// edit keeps the program parseable and resolvable; after each step the
+// program is re-canonicalized through print+parse, so the sequence of
+// versions an Editor produces is exactly the sequence of normalized
+// programs a slicing service would observe.
+//
+// Edit kinds: local/parameter rename, statement insert and delete (which
+// also realize criterion-line drift — statements above a criterion shift
+// its line), call-site add and remove, and procedure add and remove. The
+// mix is seeded, so a failing (program, edit-script) pair reproduces by
+// seed alone; Ops records each applied edit for failure messages.
+type Editor struct {
+	rng *rand.Rand
+	cur *lang.Program
+	seq int
+	// Ops describes every applied edit, in order.
+	Ops []string
+}
+
+// NewEditor returns an editor over prog (which is not mutated) seeded with
+// seed.
+func NewEditor(prog *lang.Program, seed int64) *Editor {
+	// Canonicalize through print+parse so the base version owns its AST.
+	base, err := lang.Parse(lang.Print(prog))
+	if err != nil {
+		panic(fmt.Sprintf("workload.NewEditor: base program does not reparse: %v", err))
+	}
+	return &Editor{rng: rand.New(rand.NewSource(seed)), cur: base}
+}
+
+// Program returns the current program version (normalized, freshly parsed).
+func (ed *Editor) Program() *lang.Program { return ed.cur }
+
+// Source returns the current version's normalized source text.
+func (ed *Editor) Source() string { return lang.Print(ed.cur) }
+
+// editKind identifies one mutation strategy.
+type editKind int
+
+const (
+	editRename editKind = iota
+	editInsertStmt
+	editDeleteStmt
+	editAddCall
+	editRemoveCall
+	editAddProc
+	editRemoveProc
+)
+
+// kindMix weights the draw toward the common statement-level edits.
+var kindMix = []editKind{
+	editInsertStmt, editInsertStmt, editInsertStmt,
+	editDeleteStmt, editDeleteStmt,
+	editRename, editRename,
+	editAddCall, editAddCall,
+	editRemoveCall,
+	editAddProc,
+	editRemoveProc,
+}
+
+// Step applies one random edit and returns its description. If no edit
+// kind is applicable to the current program (degenerate inputs), the step
+// records and returns "noop".
+func (ed *Editor) Step() string {
+	for attempt := 0; attempt < 16; attempt++ {
+		kind := kindMix[ed.rng.Intn(len(kindMix))]
+		clone := lang.CloneProgram(ed.cur)
+		desc, ok := ed.apply(kind, clone)
+		if !ok {
+			continue
+		}
+		next, err := lang.Parse(lang.Print(clone))
+		if err != nil {
+			// The mutation broke an invariant the applier missed; skip it
+			// rather than fail the stream — reproducibility only needs
+			// the accepted edits to be deterministic, and they are.
+			continue
+		}
+		ed.cur = next
+		ed.Ops = append(ed.Ops, desc)
+		return desc
+	}
+	ed.Ops = append(ed.Ops, "noop")
+	return "noop"
+}
+
+// Apply runs n steps and returns the resulting source.
+func (ed *Editor) Apply(n int) string {
+	for i := 0; i < n; i++ {
+		ed.Step()
+	}
+	return ed.Source()
+}
+
+func (ed *Editor) apply(kind editKind, p *lang.Program) (string, bool) {
+	switch kind {
+	case editRename:
+		return ed.renameLocal(p)
+	case editInsertStmt:
+		return ed.insertStmt(p)
+	case editDeleteStmt:
+		return ed.deleteStmt(p)
+	case editAddCall:
+		return ed.addCall(p)
+	case editRemoveCall:
+		return ed.removeCall(p)
+	case editAddProc:
+		return ed.addProc(p)
+	default:
+		return ed.removeProc(p)
+	}
+}
+
+// pickFunc returns a random function of p.
+func (ed *Editor) pickFunc(p *lang.Program) *lang.FuncDecl {
+	return p.Funcs[ed.rng.Intn(len(p.Funcs))]
+}
+
+// assignTargets returns the non-fnptr variables assignable inside fn:
+// parameters, locals, and globals.
+func assignTargets(p *lang.Program, fn *lang.FuncDecl) []string {
+	var out []string
+	for _, prm := range fn.Params {
+		if !prm.IsFnPtr {
+			out = append(out, prm.Name)
+		}
+	}
+	for _, s := range fn.Stmts() {
+		if d, ok := s.(*lang.DeclStmt); ok && !d.IsFnPtr {
+			out = append(out, d.Name)
+		}
+	}
+	for _, g := range p.Globals {
+		if !g.IsFnPtr {
+			out = append(out, g.Name)
+		}
+	}
+	return out
+}
+
+// blocksOf returns every statement block of fn (body and nested).
+func blocksOf(fn *lang.FuncDecl) []*lang.Block {
+	out := []*lang.Block{fn.Body}
+	lang.WalkStmts(fn.Body, func(s lang.Stmt) {
+		switch x := s.(type) {
+		case *lang.IfStmt:
+			out = append(out, x.Then)
+			if x.Else != nil {
+				out = append(out, x.Else)
+			}
+		case *lang.WhileStmt:
+			out = append(out, x.Body)
+		}
+	})
+	return out
+}
+
+// usedNames collects every identifier the program binds anywhere; fresh
+// names must avoid all of them (a new function may not collide with any
+// local, since locals cannot shadow functions).
+func usedNames(p *lang.Program) map[string]bool {
+	names := map[string]bool{}
+	for _, g := range p.Globals {
+		names[g.Name] = true
+	}
+	for _, f := range p.Funcs {
+		names[f.Name] = true
+		for _, prm := range f.Params {
+			names[prm.Name] = true
+		}
+		for _, s := range f.Stmts() {
+			if d, ok := s.(*lang.DeclStmt); ok {
+				names[d.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+func (ed *Editor) freshName(p *lang.Program, prefix string) string {
+	used := usedNames(p)
+	for {
+		ed.seq++
+		name := fmt.Sprintf("%s%d", prefix, ed.seq)
+		if !used[name] {
+			return name
+		}
+	}
+}
+
+func (ed *Editor) renameLocal(p *lang.Program) (string, bool) {
+	fn := ed.pickFunc(p)
+	var cands []string
+	for _, prm := range fn.Params {
+		cands = append(cands, prm.Name)
+	}
+	for _, s := range fn.Stmts() {
+		if d, ok := s.(*lang.DeclStmt); ok {
+			cands = append(cands, d.Name)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	old := cands[ed.rng.Intn(len(cands))]
+	fresh := ed.freshName(p, "rv")
+	for i := range fn.Params {
+		if fn.Params[i].Name == old {
+			fn.Params[i].Name = fresh
+		}
+	}
+	lang.WalkStmts(fn.Body, func(s lang.Stmt) {
+		switch x := s.(type) {
+		case *lang.DeclStmt:
+			if x.Name == old {
+				x.Name = fresh
+			}
+		case *lang.AssignStmt:
+			if x.LHS == old {
+				x.LHS = fresh
+			}
+		case *lang.CallStmt:
+			if x.Target == old {
+				x.Target = fresh
+			}
+			if x.Indirect && x.Callee == old {
+				x.Callee = fresh
+			}
+		case *lang.ScanfStmt:
+			if x.Var == old {
+				x.Var = fresh
+			}
+		}
+		for _, e := range lang.StmtExprs(s) {
+			lang.WalkExprs(e, func(x lang.Expr) {
+				if v, ok := x.(*lang.VarRef); ok && v.Name == old {
+					v.Name = fresh
+				}
+			})
+		}
+	})
+	return fmt.Sprintf("rename %s: %s -> %s", fn.Name, old, fresh), true
+}
+
+func (ed *Editor) insertStmt(p *lang.Program) (string, bool) {
+	fn := ed.pickFunc(p)
+	targets := assignTargets(p, fn)
+	if len(targets) == 0 {
+		return "", false
+	}
+	v := targets[ed.rng.Intn(len(targets))]
+	k := int64(1 + ed.rng.Intn(9))
+	stmt := &lang.AssignStmt{
+		LHS: v,
+		RHS: &lang.Binary{Op: "+", X: &lang.VarRef{Name: v}, Y: &lang.IntLit{Value: k}},
+	}
+	blocks := blocksOf(fn)
+	b := blocks[ed.rng.Intn(len(blocks))]
+	at := ed.rng.Intn(len(b.Stmts) + 1)
+	b.Stmts = append(b.Stmts[:at], append([]lang.Stmt{stmt}, b.Stmts[at:]...)...)
+	return fmt.Sprintf("insert %s[%d]: %s = %s + %d", fn.Name, at, v, v, k), true
+}
+
+func (ed *Editor) deleteStmt(p *lang.Program) (string, bool) {
+	type spot struct {
+		fn *lang.FuncDecl
+		b  *lang.Block
+		i  int
+	}
+	printfs := 0
+	for _, s := range p.Func("main").Stmts() {
+		if _, ok := s.(*lang.PrintfStmt); ok {
+			printfs++
+		}
+	}
+	var cands []spot
+	for _, fn := range p.Funcs {
+		for _, b := range blocksOf(fn) {
+			for i, s := range b.Stmts {
+				switch s.(type) {
+				case *lang.AssignStmt:
+					cands = append(cands, spot{fn, b, i})
+				case *lang.PrintfStmt:
+					// Keep at least one printf in main: it anchors the
+					// slicing criteria the oracle re-derives per version.
+					if fn.Name != "main" || printfs > 1 {
+						cands = append(cands, spot{fn, b, i})
+					}
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	c := cands[ed.rng.Intn(len(cands))]
+	desc := fmt.Sprintf("delete %s: %T at %d", c.fn.Name, c.b.Stmts[c.i], c.i)
+	c.b.Stmts = append(c.b.Stmts[:c.i], c.b.Stmts[c.i+1:]...)
+	return desc, true
+}
+
+func (ed *Editor) addCall(p *lang.Program) (string, bool) {
+	var callees []*lang.FuncDecl
+	for _, f := range p.Funcs {
+		if f.Name != "main" {
+			callees = append(callees, f)
+		}
+	}
+	if len(callees) == 0 {
+		return "", false
+	}
+	callee := callees[ed.rng.Intn(len(callees))]
+	caller := ed.pickFunc(p)
+	call := &lang.CallStmt{Callee: callee.Name}
+	for range callee.Params {
+		call.Args = append(call.Args, &lang.IntLit{Value: int64(1 + ed.rng.Intn(9))})
+	}
+	if callee.ReturnsValue && ed.rng.Intn(2) == 0 {
+		if targets := assignTargets(p, caller); len(targets) > 0 {
+			call.Target = targets[ed.rng.Intn(len(targets))]
+		}
+	}
+	blocks := blocksOf(caller)
+	b := blocks[ed.rng.Intn(len(blocks))]
+	at := ed.rng.Intn(len(b.Stmts) + 1)
+	b.Stmts = append(b.Stmts[:at], append([]lang.Stmt{call}, b.Stmts[at:]...)...)
+	return fmt.Sprintf("add-call %s[%d]: %s(%d args) -> %q", caller.Name, at, callee.Name, len(call.Args), call.Target), true
+}
+
+func (ed *Editor) removeCall(p *lang.Program) (string, bool) {
+	type spot struct {
+		fn *lang.FuncDecl
+		b  *lang.Block
+		i  int
+	}
+	var cands []spot
+	for _, fn := range p.Funcs {
+		for _, b := range blocksOf(fn) {
+			for i, s := range b.Stmts {
+				if _, ok := s.(*lang.CallStmt); ok {
+					cands = append(cands, spot{fn, b, i})
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	c := cands[ed.rng.Intn(len(cands))]
+	call := c.b.Stmts[c.i].(*lang.CallStmt)
+	c.b.Stmts = append(c.b.Stmts[:c.i], c.b.Stmts[c.i+1:]...)
+	return fmt.Sprintf("remove-call %s: %s at %d", c.fn.Name, call.Callee, c.i), true
+}
+
+func (ed *Editor) addProc(p *lang.Program) (string, bool) {
+	name := ed.freshName(p, "q")
+	k := int64(1 + ed.rng.Intn(9))
+	fn := &lang.FuncDecl{
+		Name:         name,
+		Params:       []lang.Param{{Name: "a0"}},
+		ReturnsValue: true,
+		Body: &lang.Block{Stmts: []lang.Stmt{
+			&lang.ReturnStmt{Value: &lang.Binary{
+				Op: "+",
+				X:  &lang.Binary{Op: "*", X: &lang.VarRef{Name: "a0"}, Y: &lang.IntLit{Value: 2}},
+				Y:  &lang.IntLit{Value: k},
+			}},
+		}},
+	}
+	// Insert before main so main stays last, matching the generator's shape.
+	mainIdx := len(p.Funcs) - 1
+	for i, f := range p.Funcs {
+		if f.Name == "main" {
+			mainIdx = i
+		}
+	}
+	p.Funcs = append(p.Funcs[:mainIdx], append([]*lang.FuncDecl{fn}, p.Funcs[mainIdx:]...)...)
+	desc := fmt.Sprintf("add-proc %s", name)
+	// Usually also call it from main, so the new procedure can join slices.
+	if main := p.Func("main"); main != nil && ed.rng.Intn(4) > 0 {
+		if targets := assignTargets(p, main); len(targets) > 0 {
+			call := &lang.CallStmt{
+				Target: targets[ed.rng.Intn(len(targets))],
+				Callee: name,
+				Args:   []lang.Expr{&lang.IntLit{Value: int64(1 + ed.rng.Intn(9))}},
+			}
+			at := ed.rng.Intn(len(main.Body.Stmts) + 1)
+			main.Body.Stmts = append(main.Body.Stmts[:at], append([]lang.Stmt{call}, main.Body.Stmts[at:]...)...)
+			desc += " + call from main"
+		}
+	}
+	return desc, true
+}
+
+func (ed *Editor) removeProc(p *lang.Program) (string, bool) {
+	called := map[string]bool{}
+	for _, fn := range p.Funcs {
+		for _, s := range fn.Stmts() {
+			if c, ok := s.(*lang.CallStmt); ok {
+				called[c.Callee] = true
+			}
+			for _, e := range lang.StmtExprs(s) {
+				lang.WalkExprs(e, func(x lang.Expr) {
+					if fr, ok := x.(*lang.FuncRef); ok {
+						called[fr.Name] = true
+					}
+				})
+			}
+		}
+	}
+	var cands []int
+	for i, fn := range p.Funcs {
+		if fn.Name != "main" && !called[fn.Name] {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	i := cands[ed.rng.Intn(len(cands))]
+	name := p.Funcs[i].Name
+	p.Funcs = append(p.Funcs[:i], p.Funcs[i+1:]...)
+	return fmt.Sprintf("remove-proc %s", name), true
+}

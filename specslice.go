@@ -36,6 +36,7 @@ package specslice
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"specslice/internal/core"
@@ -73,6 +74,19 @@ func MustParse(src string) *Program {
 
 // Source pretty-prints the program.
 func (p *Program) Source() string { return lang.Print(p.ast) }
+
+// ProcNames returns the program's procedure names, sorted. Services use
+// them to derive version-chain (family) keys: two versions of an evolving
+// program with the same procedure set can share incremental analysis
+// state through Engine.Advance.
+func (p *Program) ProcNames() []string {
+	out := make([]string, 0, len(p.ast.Funcs))
+	for _, f := range p.ast.Funcs {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // RunOptions configures program execution.
 type RunOptions struct {
@@ -363,6 +377,40 @@ type Engine struct {
 
 // SDG returns the graph the engine serves.
 func (e *Engine) SDG() *SDG { return e.s }
+
+// AdvanceStats reports how much analysis state Engine.Advance reused.
+type AdvanceStats struct {
+	// ProcsReused / ProcsRebuilt partition the new program's procedures:
+	// reused ones had their dependence graphs copied from the previous
+	// version instead of recomputed.
+	ProcsReused  int `json:"procs_reused"`
+	ProcsRebuilt int `json:"procs_rebuilt"`
+	// SummaryEdgesReused counts inherited summary edges (call sites whose
+	// callee subtree the edit did not touch).
+	SummaryEdgesReused int `json:"summary_edges_reused"`
+}
+
+// Advance returns a new engine for p — typically the previous program
+// after a small edit — reusing every untouched part of this engine's
+// analysis state: unchanged procedures' dependence graphs are copied, not
+// recomputed, and summary edges of call sites whose callee subtree is
+// unchanged are inherited, so only the edit's dirty region is reanalyzed.
+// The advanced engine is equivalent to p.Engine() built from scratch (the
+// incremental oracle holds slices to byte-identical outputs); this engine
+// is untouched and keeps serving its own version, so Advance is safe to
+// call while other goroutines slice through it. Like Program.SDG, p must
+// contain only direct calls (EliminateIndirectCalls first).
+func (e *Engine) Advance(p *Program) (*Engine, AdvanceStats, error) {
+	neng, delta, err := e.s.eng.Advance(p.ast)
+	if err != nil {
+		return nil, AdvanceStats{}, err
+	}
+	return &Engine{s: &SDG{g: neng.Graph(), eng: neng}}, AdvanceStats{
+		ProcsReused:        delta.ProcsReused,
+		ProcsRebuilt:       delta.ProcsRebuilt,
+		SummaryEdgesReused: delta.SummaryEdgesSeeded,
+	}, nil
+}
 
 // Warm eagerly builds every cache so subsequent requests pay only
 // per-query costs. Calling it is optional; caches also fill lazily.
