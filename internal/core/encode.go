@@ -36,6 +36,30 @@ type Encoding struct {
 	reachOnce sync.Once
 	reach     *fsa.FSA
 	reachErr  error
+
+	// nameMu guards names, the cache of numbered variant names ("p_3")
+	// the readout assigns when a procedure specializes into several
+	// copies. Warm requests against a shared encoding re-derive the same
+	// names, so caching them keeps the readout allocation-free.
+	nameMu sync.Mutex
+	names  map[uint64]string
+}
+
+// variantName returns the cached numbered name of procedure proc's
+// ordinal-th extra variant ("<name>_<ordinal>").
+func (e *Encoding) variantName(proc, ordinal int) string {
+	key := uint64(proc)<<32 | uint64(uint32(ordinal))
+	e.nameMu.Lock()
+	defer e.nameMu.Unlock()
+	if s, ok := e.names[key]; ok {
+		return s
+	}
+	if e.names == nil {
+		e.names = map[uint64]string{}
+	}
+	s := fmt.Sprintf("%s_%d", e.G.Procs[proc].Name, ordinal)
+	e.names[key] = s
+	return s
 }
 
 // Prestar answers a pre* query through the encoding's cached rule indexes.

@@ -158,8 +158,8 @@ func TestVariantsViewMatchesR(t *testing.T) {
 			t.Errorf("variant %d: name %q vs %q", i, v.Name, res.R.Procs[i].Name)
 		}
 		for site, callee := range v.CallTarget {
-			if _, ok := res.OriginSite[sdg.SiteID(0)]; ok {
-				_ = site
+			if site < 0 || int(site) >= len(res.Source.Sites) {
+				t.Errorf("variant %d: call target site %d out of source range", i, site)
 			}
 			if callee == "" {
 				t.Errorf("variant %d: empty call target", i)

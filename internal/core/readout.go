@@ -1,0 +1,615 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"specslice/internal/sdg"
+)
+
+// This file implements Alg. 1 lines 9–24 — constructing the specialized
+// SDG R from the MRD automaton A6 — on dense, arena-backed structures.
+// The readout is the largest warm phase once Prestar and the automaton
+// chain are served from caches, so it follows the same discipline as the
+// fsa pipeline and the pds Prestar engine:
+//
+//   - A6 is consumed through its state-indexed adjacency (Out lists), and
+//     the per-state Elems sets live in one CSR over A6 states instead of a
+//     map of slices;
+//   - variant identity and ordering use integer-indexed tables (stamped
+//     membership marks over source vertices, permutation sort over packed
+//     (proc, vertex-list) keys) in place of the former stateInfo maps and
+//     "%d,%d,…" string keys;
+//   - actual-to-formal matching is a merge walk over the shared formal
+//     ordering invariant (positional params ascending, then globals sorted;
+//     see sdg.Proc.MatchFormalIn) — the linear matchFormalIn/matchFormalOut
+//     scans survive only as the differential reference in reference_test.go;
+//   - all scratch comes from a pooled arena, and the result graph itself is
+//     carved out of a pooled sdg.Arena that Result.Release returns, so a
+//     warm slicing service re-runs the whole phase with near-zero
+//     allocation.
+
+// roScratch is the pooled per-readout scratch: bump-allocated int32 and
+// VertexID buffers, the stamped membership tables, and the growable edge
+// and call-edge lists. Nothing in it survives into the Result.
+type roScratch struct {
+	i32buf []int32
+	i32off int
+	vidbuf []sdg.VertexID
+	vidoff int
+
+	callEdges []roCallEdge
+	edges     []sdg.Edge
+	names     []string
+
+	mark  []int32 // per source vertex: epoch of the variant containing it
+	newID []sdg.VertexID
+	epoch int32
+
+	order variantOrder
+}
+
+type roCallEdge struct {
+	callee, caller int32
+	site           sdg.SiteID
+}
+
+var roPool = sync.Pool{New: func() any { return &roScratch{} }}
+
+func getROScratch() *roScratch {
+	sc := roPool.Get().(*roScratch)
+	sc.i32off, sc.vidoff = 0, 0
+	return sc
+}
+
+func putROScratch(sc *roScratch) { roPool.Put(sc) }
+
+func (sc *roScratch) i32(n int) []int32 {
+	if sc.i32off+n > len(sc.i32buf) {
+		c := 2 * len(sc.i32buf)
+		if c < sc.i32off+n {
+			c = sc.i32off + n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		sc.i32buf = make([]int32, c)
+		sc.i32off = 0
+	}
+	s := sc.i32buf[sc.i32off : sc.i32off+n : sc.i32off+n]
+	sc.i32off += n
+	clear(s)
+	return s
+}
+
+func (sc *roScratch) vids(n int) []sdg.VertexID {
+	if sc.vidoff+n > len(sc.vidbuf) {
+		c := 2 * len(sc.vidbuf)
+		if c < sc.vidoff+n {
+			c = sc.vidoff + n
+		}
+		if c < 1024 {
+			c = 1024
+		}
+		sc.vidbuf = make([]sdg.VertexID, c)
+		sc.vidoff = 0
+	}
+	s := sc.vidbuf[sc.vidoff : sc.vidoff+n : sc.vidoff+n]
+	sc.vidoff += n
+	clear(s)
+	return s
+}
+
+// marks ensures the stamped membership tables cover n source vertices.
+func (sc *roScratch) marks(n int) {
+	if len(sc.mark) < n {
+		sc.mark = make([]int32, n)
+		sc.newID = make([]sdg.VertexID, n)
+	}
+}
+
+// variantOrder sorts a permutation of variant indexes by (source proc,
+// lexicographic vertex list) — the canonical variant order. It replaces
+// the stateInfo string keys; sorting through a pointer receiver keeps the
+// sort.Sort call allocation-free.
+type variantOrder struct {
+	idx    []int32 // the permutation being sorted
+	proc   []int32 // per variant: source proc index
+	lo, hi []int32 // per variant: vertex range in vdata
+	vdata  []sdg.VertexID
+}
+
+func (o *variantOrder) Len() int      { return len(o.idx) }
+func (o *variantOrder) Swap(i, j int) { o.idx[i], o.idx[j] = o.idx[j], o.idx[i] }
+func (o *variantOrder) Less(i, j int) bool {
+	a, b := o.idx[i], o.idx[j]
+	if o.proc[a] != o.proc[b] {
+		return o.proc[a] < o.proc[b]
+	}
+	va := o.vdata[o.lo[a]:o.hi[a]]
+	vb := o.vdata[o.lo[b]:o.hi[b]]
+	for k := 0; k < len(va) && k < len(vb); k++ {
+		if va[k] != vb[k] {
+			return va[k] < vb[k]
+		}
+	}
+	return len(va) < len(vb)
+}
+
+// resultSpace owns a Result's pooled storage: the sdg.Arena carrying R and
+// the VariantsOf map with its value backing. Result.Release returns it.
+type resultSpace struct {
+	arena      *sdg.Arena
+	variantsOf map[string][]int
+	ints       []int
+}
+
+var spacePool = sync.Pool{New: func() any {
+	return &resultSpace{arena: sdg.NewArena(), variantsOf: map[string][]int{}}
+}}
+
+// Release returns the Result's graph storage — R, OriginVertex/OriginSite,
+// VariantsOf, and everything reachable from them — to the internal pool,
+// after which the Result and those structures must not be used. Callers
+// that materialize what they need (Variants, VariantCounts, emitted
+// source) and drop the Result, like the HTTP service, release to make warm
+// readouts allocation-free; callers that retain the Result simply skip the
+// call and let the garbage collector reclaim it.
+func (r *Result) Release() {
+	sp := r.space
+	if sp == nil {
+		return
+	}
+	r.space = nil
+	r.R = nil
+	r.OriginVertex, r.OriginSite, r.VariantsOf = nil, nil, nil
+	clear(sp.variantsOf)
+	sp.ints = sp.ints[:0]
+	spacePool.Put(sp)
+}
+
+// ReadoutOnly re-runs the readout phase (Alg. 1 lines 9–24) of a completed
+// result against its existing A6 into a fresh Result — the isolation hook
+// the engine benchmark uses to time the phase and count its allocations.
+func ReadoutOnly(src *Result) (*Result, error) {
+	res := &Result{Source: src.Source, Enc: src.Enc, A1: src.A1, A6: src.A6}
+	if err := res.readout(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// formalInLess orders actual-in/formal-in vertices by the shared matching
+// key: positional parameters (ascending Param) before globals (ascending
+// Var) — the order Build creates them in and every variant preserves.
+func formalInLess(a, b *sdg.Vertex) bool {
+	aPos, bPos := a.Param != sdg.NoParam, b.Param != sdg.NoParam
+	if aPos != bPos {
+		return aPos
+	}
+	if aPos {
+		return a.Param < b.Param
+	}
+	return a.Var < b.Var
+}
+
+func formalInMatches(f, a *sdg.Vertex) bool {
+	if a.Param != sdg.NoParam {
+		return f.Param == a.Param
+	}
+	return f.Param == sdg.NoParam && f.Var == a.Var
+}
+
+// formalOutLess orders actual-out/formal-out vertices: the return value
+// first, then globals ascending by Var.
+func formalOutLess(a, b *sdg.Vertex) bool {
+	if a.IsReturn != b.IsReturn {
+		return a.IsReturn
+	}
+	if a.IsReturn {
+		return false
+	}
+	return a.Var < b.Var
+}
+
+func formalOutMatches(f, a *sdg.Vertex) bool {
+	if a.IsReturn {
+		return f.IsReturn
+	}
+	return !f.IsReturn && f.Var == a.Var
+}
+
+// readout implements Alg. 1 lines 9–24: construct the specialized SDG R
+// from the MRD automaton A6. See the file comment for the representation.
+func (r *Result) readout() error {
+	a6 := r.A6
+	g := r.Source
+	enc := r.Enc
+	n := a6.NumStates()
+
+	if n == 0 || a6.NumStarts() == 0 {
+		return fmt.Errorf("core: slice is empty (criterion depends on nothing)")
+	}
+	if a6.NumStarts() != 1 {
+		return fmt.Errorf("core: internal error: A6 has %d start states", a6.NumStarts())
+	}
+	q0 := a6.Starts()[0]
+
+	sc := getROScratch()
+	defer putROScratch(sc)
+
+	// Pass 1 over A6's adjacency: count the Elems sets (transitions leaving
+	// q0, bucketed by target state) and the call-site transitions among
+	// non-initial states.
+	vstart := sc.i32(n + 1)
+	totalV, nCall := 0, 0
+	for s := 0; s < n; s++ {
+		for _, t := range a6.Out(s) {
+			if s == q0 {
+				if enc.IsSiteSym(t.Sym) {
+					return fmt.Errorf("core: internal error: call-site symbol on an initial transition")
+				}
+				if t.To == q0 {
+					return fmt.Errorf("core: internal error: self-loop on the initial state")
+				}
+				vstart[t.To+1]++
+				totalV++
+			} else {
+				if !enc.IsSiteSym(t.Sym) {
+					return fmt.Errorf("core: internal error: vertex symbol %d on a non-initial transition", t.Sym)
+				}
+				nCall++
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		vstart[s+1] += vstart[s]
+	}
+
+	// Pass 2: fill the per-state vertex CSR and the call-edge list.
+	vdata := sc.vids(totalV)[:totalV]
+	vcur := sc.i32(n)
+	copy(vcur, vstart[:n])
+	callEdges := sc.callEdges[:0]
+	for s := 0; s < n; s++ {
+		for _, t := range a6.Out(s) {
+			if s == q0 {
+				vdata[vcur[t.To]] = enc.SymVertex(t.Sym)
+				vcur[t.To]++
+			} else {
+				callEdges = append(callEdges, roCallEdge{callee: int32(s), caller: int32(t.To), site: enc.SymSite(t.Sym)})
+			}
+		}
+	}
+	sc.callEdges = callEdges[:0]
+
+	// Variants: one per state with a non-empty Elems set. Sort each set,
+	// check Defn. 2.10's one-procedure-per-element rule, and order the
+	// variants canonically by (source proc, lexicographic vertex list).
+	nv := 0
+	for s := 0; s < n; s++ {
+		if vstart[s+1] > vstart[s] {
+			nv++
+		}
+	}
+	infoState := sc.i32(nv)
+	infoProc := sc.i32(nv)
+	infoLo := sc.i32(nv)
+	infoHi := sc.i32(nv)
+	order := sc.i32(nv)
+	vi := 0
+	for s := 0; s < n; s++ {
+		lo, hi := vstart[s], vstart[s+1]
+		if lo == hi {
+			continue
+		}
+		vs := vdata[lo:hi]
+		slices.Sort(vs)
+		proc := g.Vertices[vs[0]].Proc
+		for _, v := range vs[1:] {
+			if g.Vertices[v].Proc != proc {
+				return fmt.Errorf("core: partition element mixes procedures %s and %s",
+					g.Procs[proc].Name, g.Procs[g.Vertices[v].Proc].Name)
+			}
+		}
+		infoState[vi], infoProc[vi] = int32(s), int32(proc)
+		infoLo[vi], infoHi[vi] = lo, hi
+		order[vi] = int32(vi)
+		vi++
+	}
+	sc.order = variantOrder{idx: order, proc: infoProc, lo: infoLo, hi: infoHi, vdata: vdata}
+	sort.Sort(&sc.order)
+
+	// Assign names along the sorted order: a single variant keeps the
+	// original name; multiple variants are numbered, and the final-state
+	// variant of main keeps "main". Numbered names come from the
+	// encoding's cache, so warm repeats allocate nothing.
+	if cap(sc.names) < nv {
+		sc.names = make([]string, nv)
+	}
+	names := sc.names[:nv]
+	for gi := 0; gi < nv; {
+		ge := gi
+		for ge < nv && infoProc[order[ge]] == infoProc[order[gi]] {
+			ge++
+		}
+		procIdx := int(infoProc[order[gi]])
+		orig := g.Procs[procIdx].Name
+		switch {
+		case ge-gi == 1:
+			names[order[gi]] = orig
+		case orig == "main":
+			// Keep "main" on the final-state variant.
+			num := 1
+			for k := gi; k < ge; k++ {
+				if a6.IsFinal(int(infoState[order[k]])) {
+					names[order[k]] = "main"
+				} else {
+					names[order[k]] = enc.variantName(procIdx, num)
+					num++
+				}
+			}
+		default:
+			for k := gi; k < ge; k++ {
+				names[order[k]] = enc.variantName(procIdx, k-gi+1)
+			}
+		}
+		gi = ge
+	}
+
+	// Pass A: per-variant membership counts to size the result arena
+	// exactly — kept formals, kept sites with their kept actuals.
+	sc.marks(g.NumVertices())
+	totalSites, totalFormals, totalActuals := 0, 0, 0
+	for vi := 0; vi < nv; vi++ {
+		sc.epoch++
+		vs := vdata[infoLo[vi]:infoHi[vi]]
+		for _, v := range vs {
+			sc.mark[v] = sc.epoch
+		}
+		orig := g.Procs[infoProc[vi]]
+		if vs[0] != orig.Entry {
+			return fmt.Errorf("core: internal error: variant of %s lacks its entry vertex", orig.Name)
+		}
+		for _, fi := range orig.FormalIns {
+			if sc.mark[fi] == sc.epoch {
+				totalFormals++
+			}
+		}
+		for _, fo := range orig.FormalOuts {
+			if sc.mark[fo] == sc.epoch {
+				totalFormals++
+			}
+		}
+		for _, sid := range orig.Sites {
+			src := g.Sites[sid]
+			if sc.mark[src.CallVertex] != sc.epoch {
+				continue
+			}
+			totalSites++
+			for _, ai := range src.ActualIns {
+				if sc.mark[ai] == sc.epoch {
+					totalActuals++
+				}
+			}
+			for _, ao := range src.ActualOuts {
+				if sc.mark[ao] == sc.epoch {
+					totalActuals++
+				}
+			}
+		}
+	}
+
+	// Acquire the pooled result space and size it: every per-proc and
+	// per-site ID list, plus OriginVertex/OriginSite, carves from two
+	// typed arenas.
+	sp := spacePool.Get().(*resultSpace)
+	fail := func(err error) error {
+		clear(sp.variantsOf)
+		sp.ints = sp.ints[:0]
+		spacePool.Put(sp)
+		return err
+	}
+	nVIDs := 2*totalV + totalFormals + totalActuals // proc lists + origins + formals + actuals
+	nSIDs := 2 * totalSites                         // proc site lists + origins
+	arena := sp.arena
+	R := arena.Prepare(g.Prog, totalV, nv, totalSites, nVIDs, nSIDs)
+
+	r.OriginVertex = arena.VIDs(totalV)
+	r.OriginSite = arena.SIDs(totalSites)
+	stateToR := sc.i32(n)
+
+	// Pass B: build the variants in canonical order — vertices (in source
+	// ID order), formal lists, site skeletons, induced intraprocedural
+	// edges (Defn. 3.13). Edges accumulate in scratch and are installed as
+	// one packed adjacency at the end.
+	edges := sc.edges[:0]
+	for oi := 0; oi < nv; oi++ {
+		vi := int(order[oi])
+		orig := g.Procs[infoProc[vi]]
+		rp := arena.AddProc(sdg.Proc{Name: names[vi], Fn: orig.Fn})
+		stateToR[infoState[vi]] = int32(rp.Index) + 1
+		vs := vdata[infoLo[vi]:infoHi[vi]]
+
+		sc.epoch++
+		rpVerts := arena.VIDs(len(vs))
+		for _, v := range vs {
+			id, nvx := arena.AddVertex(*g.Vertices[v])
+			nvx.Proc = rp.Index
+			nvx.Site = -1 // re-linked below
+			sc.mark[v] = sc.epoch
+			sc.newID[v] = id
+			rpVerts = append(rpVerts, id)
+			r.OriginVertex = append(r.OriginVertex, v)
+		}
+		rp.Vertices = rpVerts
+		rp.Entry = sc.newID[orig.Entry]
+
+		kept := 0
+		for _, fi := range orig.FormalIns {
+			if sc.mark[fi] == sc.epoch {
+				kept++
+			}
+		}
+		rp.FormalIns = arena.VIDs(kept)
+		for _, fi := range orig.FormalIns {
+			if sc.mark[fi] == sc.epoch {
+				rp.FormalIns = append(rp.FormalIns, sc.newID[fi])
+			}
+		}
+		kept = 0
+		for _, fo := range orig.FormalOuts {
+			if sc.mark[fo] == sc.epoch {
+				kept++
+			}
+		}
+		rp.FormalOuts = arena.VIDs(kept)
+		for _, fo := range orig.FormalOuts {
+			if sc.mark[fo] == sc.epoch {
+				rp.FormalOuts = append(rp.FormalOuts, sc.newID[fo])
+			}
+		}
+
+		kept = 0
+		for _, sid := range orig.Sites {
+			if sc.mark[g.Sites[sid].CallVertex] == sc.epoch {
+				kept++
+			}
+		}
+		rp.Sites = arena.SIDs(kept)
+		for _, sid := range orig.Sites {
+			src := g.Sites[sid]
+			if sc.mark[src.CallVertex] != sc.epoch {
+				continue
+			}
+			rs := arena.AddSite(sdg.Site{
+				CallerProc: rp.Index,
+				Callee:     src.Callee, Lib: src.Lib, Stmt: src.Stmt,
+				CallVertex: sc.newID[src.CallVertex],
+			})
+			nai, nao := 0, 0
+			for _, ai := range src.ActualIns {
+				if sc.mark[ai] == sc.epoch {
+					nai++
+				}
+			}
+			for _, ao := range src.ActualOuts {
+				if sc.mark[ao] == sc.epoch {
+					nao++
+				}
+			}
+			rs.ActualIns = arena.VIDs(nai)
+			for _, ai := range src.ActualIns {
+				if sc.mark[ai] == sc.epoch {
+					rs.ActualIns = append(rs.ActualIns, sc.newID[ai])
+				}
+			}
+			rs.ActualOuts = arena.VIDs(nao)
+			for _, ao := range src.ActualOuts {
+				if sc.mark[ao] == sc.epoch {
+					rs.ActualOuts = append(rs.ActualOuts, sc.newID[ao])
+				}
+			}
+			rp.Sites = append(rp.Sites, rs.ID)
+			r.OriginSite = append(r.OriginSite, sid)
+			R.Vertices[rs.CallVertex].Site = rs.ID
+			for _, vid := range rs.ActualIns {
+				R.Vertices[vid].Site = rs.ID
+			}
+			for _, vid := range rs.ActualOuts {
+				R.Vertices[vid].Site = rs.ID
+			}
+		}
+
+		// Induced intraprocedural edges (Defn. 3.13).
+		for _, v := range vs {
+			from := sc.newID[v]
+			for _, e := range g.Out(v) {
+				if (e.Kind == sdg.EdgeControl || e.Kind == sdg.EdgeFlow) && sc.mark[e.To] == sc.epoch {
+					edges = append(edges, sdg.Edge{From: from, To: sc.newID[e.To], Kind: e.Kind})
+				}
+			}
+		}
+	}
+
+	// Wire the interprocedural edges from A6's call-site transitions
+	// (Alg. 1 lines 19–24): q1 --C--> q2 means q2's PDG calls q1's PDG at
+	// (the copy of) site C. Actuals pair with formals by a single merge
+	// walk over the shared ordering invariant.
+	for _, ce := range callEdges {
+		if stateToR[ce.callee] == 0 || stateToR[ce.caller] == 0 {
+			sc.edges = edges[:0]
+			return fail(fmt.Errorf("core: internal error: state %d has call transitions but no vertices", ce.callee))
+		}
+		callerIdx := int(stateToR[ce.caller]) - 1
+		calleeIdx := int(stateToR[ce.callee]) - 1
+		caller := R.Procs[callerIdx]
+		callee := R.Procs[calleeIdx]
+		var rs *sdg.Site
+		for _, sid := range caller.Sites {
+			if r.OriginSite[sid] == ce.site {
+				rs = R.Sites[sid]
+			}
+		}
+		if rs == nil {
+			sc.edges = edges[:0]
+			return fail(fmt.Errorf("core: internal error: caller variant %s lacks site %d", caller.Name, ce.site))
+		}
+		rs.Callee = callee.Name
+		edges = append(edges, sdg.Edge{From: rs.CallVertex, To: callee.Entry, Kind: sdg.EdgeCall})
+		j := 0
+		for _, aiID := range rs.ActualIns {
+			ai := R.Vertices[aiID]
+			for j < len(callee.FormalIns) && formalInLess(R.Vertices[callee.FormalIns[j]], ai) {
+				j++
+			}
+			if j == len(callee.FormalIns) || !formalInMatches(R.Vertices[callee.FormalIns[j]], ai) {
+				sc.edges = edges[:0]
+				return fail(fmt.Errorf("core: parameter mismatch: %s has no formal for %s", callee.Name, R.VertexString(aiID)))
+			}
+			edges = append(edges, sdg.Edge{From: aiID, To: callee.FormalIns[j], Kind: sdg.EdgeParamIn})
+			j++
+		}
+		j = 0
+		for _, aoID := range rs.ActualOuts {
+			ao := R.Vertices[aoID]
+			for j < len(callee.FormalOuts) && formalOutLess(R.Vertices[callee.FormalOuts[j]], ao) {
+				j++
+			}
+			if j == len(callee.FormalOuts) || !formalOutMatches(R.Vertices[callee.FormalOuts[j]], ao) {
+				sc.edges = edges[:0]
+				return fail(fmt.Errorf("core: parameter mismatch: %s has no formal-out for %s", callee.Name, R.VertexString(aoID)))
+			}
+			edges = append(edges, sdg.Edge{From: callee.FormalOuts[j], To: aoID, Kind: sdg.EdgeParamOut})
+			j++
+		}
+	}
+
+	arena.InstallEdges(edges)
+	sc.edges = edges[:0]
+
+	// VariantsOf: R proc indexes per source name — consecutive runs of the
+	// canonical order, with value backing carved from the space.
+	if cap(sp.ints) < nv {
+		sp.ints = make([]int, 0, nv)
+	}
+	for gi := 0; gi < nv; {
+		ge := gi
+		for ge < nv && infoProc[order[ge]] == infoProc[order[gi]] {
+			ge++
+		}
+		lo := len(sp.ints)
+		for k := gi; k < ge; k++ {
+			sp.ints = append(sp.ints, k)
+		}
+		sp.variantsOf[g.Procs[infoProc[order[gi]]].Name] = sp.ints[lo:len(sp.ints):len(sp.ints)]
+		gi = ge
+	}
+
+	r.R = R
+	r.VariantsOf = sp.variantsOf
+	r.space = sp
+	return nil
+}

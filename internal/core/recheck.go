@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"specslice/internal/fsa"
+	"specslice/internal/sdg"
 )
 
 // MCSymbolMap builds the mapping M_C from the output SDG R's symbols (under
@@ -12,10 +13,10 @@ import (
 func (r *Result) MCSymbolMap(encR *Encoding) map[fsa.Symbol]fsa.Symbol {
 	m := map[fsa.Symbol]fsa.Symbol{}
 	for rv, sv := range r.OriginVertex {
-		m[encR.VertexSym(rv)] = r.Enc.VertexSym(sv)
+		m[encR.VertexSym(sdg.VertexID(rv))] = r.Enc.VertexSym(sv)
 	}
 	for rs, ss := range r.OriginSite {
-		m[encR.SiteSym(rs)] = r.Enc.SiteSym(ss)
+		m[encR.SiteSym(sdg.SiteID(rs))] = r.Enc.SiteSym(ss)
 	}
 	return m
 }

@@ -1,0 +1,555 @@
+package core_test
+
+// Layer 1 reference oracle for the dense readout, mirroring the
+// fsa/reference_test.go pattern: the original map-driven Alg. 1 readout
+// (stateInfo maps, map[VertexID]bool membership sets, linear formal
+// matching) is relocated here as a differential reference and compared
+// for structural identity — vertex, site, and procedure numbering, names,
+// formal lists, origin maps, and edge sets — against the arena-backed
+// dense readout on hundreds of random program/criterion pairs.
+//
+// One deliberate canonicalization: the historical implementation ordered
+// variants by a "%d,%d,…" *string* key, under which vertex list [12] sorts
+// before [3]; the reference below uses the numeric lexicographic order the
+// dense readout defines. Everything else is the old algorithm verbatim.
+//
+// The relocated matchFormalIn/matchFormalOut linear scans double as the
+// reference for sdg.Proc.MatchFormalIn/MatchFormalOut (the precomputed
+// index on built graphs, the ordering-invariant binary search on readout
+// graphs), checked across every source graph and specialized result.
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+
+	"specslice/internal/core"
+	"specslice/internal/emit"
+	"specslice/internal/mono"
+	"specslice/internal/sdg"
+	sliceg "specslice/internal/slice"
+	"specslice/internal/workload"
+)
+
+// refResult is the reference readout's output: the same shape Result had
+// before the dense rewrite (map-typed origin tables, explicit call-target
+// maps).
+type refResult struct {
+	R            *sdg.Graph
+	OriginVertex map[sdg.VertexID]sdg.VertexID
+	OriginSite   map[sdg.SiteID]sdg.SiteID
+	VariantsOf   map[string][]int
+	CallTargets  []map[sdg.SiteID]int
+}
+
+// refStateInfo captures a non-initial A6 state during the reference
+// readout (the former stateInfo).
+type refStateInfo struct {
+	state    int
+	origProc int
+	vertices []sdg.VertexID // sorted source vertices (the Elems set)
+	isFinal  bool
+}
+
+// referenceReadout is the relocated map-based readout, run against the
+// dense result's own A6/encoding/source graph.
+func referenceReadout(res *core.Result) (*refResult, error) {
+	a6 := res.A6
+	g := res.Source
+	enc := res.Enc
+	r := &refResult{}
+
+	starts := a6.Starts()
+	if a6.NumStates() == 0 || len(starts) == 0 {
+		return nil, fmt.Errorf("core: slice is empty (criterion depends on nothing)")
+	}
+	if len(starts) != 1 {
+		return nil, fmt.Errorf("core: internal error: A6 has %d start states", len(starts))
+	}
+	q0 := starts[0]
+
+	// Collect the Elems sets from the transitions leaving q0, and the
+	// call-site transitions among non-initial states.
+	vertsOf := map[int][]sdg.VertexID{}
+	type callEdge struct {
+		callee, caller int
+		site           sdg.SiteID
+	}
+	var callEdges []callEdge
+	for _, t := range a6.Transitions() {
+		if t.From == q0 {
+			if enc.IsSiteSym(t.Sym) {
+				return nil, fmt.Errorf("core: internal error: call-site symbol on an initial transition")
+			}
+			if t.To == q0 {
+				return nil, fmt.Errorf("core: internal error: self-loop on the initial state")
+			}
+			vertsOf[t.To] = append(vertsOf[t.To], enc.SymVertex(t.Sym))
+			continue
+		}
+		if !enc.IsSiteSym(t.Sym) {
+			return nil, fmt.Errorf("core: internal error: vertex symbol %d on a non-initial transition", t.Sym)
+		}
+		callEdges = append(callEdges, callEdge{callee: t.From, caller: t.To, site: enc.SymSite(t.Sym)})
+	}
+
+	// Build per-state info, checking Defn. 2.10's rule 2.
+	var infos []*refStateInfo
+	infoByState := map[int]*refStateInfo{}
+	for state, vs := range vertsOf {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		proc := g.Vertices[vs[0]].Proc
+		for _, v := range vs {
+			if g.Vertices[v].Proc != proc {
+				return nil, fmt.Errorf("core: partition element mixes procedures")
+			}
+		}
+		infos = append(infos, &refStateInfo{
+			state: state, origProc: proc, vertices: vs, isFinal: a6.IsFinal(state),
+		})
+		infoByState[state] = infos[len(infos)-1]
+	}
+	for _, ce := range callEdges {
+		for _, s := range []int{ce.callee, ce.caller} {
+			if _, ok := infoByState[s]; !ok {
+				return nil, fmt.Errorf("core: internal error: state %d has call transitions but no vertices", s)
+			}
+		}
+	}
+
+	// Deterministic order: by source proc index, then numeric
+	// lexicographic vertex list (the canonicalized form of the historical
+	// string key).
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].origProc != infos[j].origProc {
+			return infos[i].origProc < infos[j].origProc
+		}
+		return slices.Compare(infos[i].vertices, infos[j].vertices) < 0
+	})
+
+	// Assign names: a single variant keeps the original name; multiple
+	// variants are numbered. The final-state variant of main keeps "main".
+	byProc := map[int][]*refStateInfo{}
+	for _, in := range infos {
+		byProc[in.origProc] = append(byProc[in.origProc], in)
+	}
+	names := map[int]string{} // state -> specialized name
+	for procIdx, group := range byProc {
+		orig := g.Procs[procIdx].Name
+		if len(group) == 1 {
+			names[group[0].state] = orig
+			continue
+		}
+		if orig == "main" {
+			n := 1
+			for _, in := range group {
+				if in.isFinal {
+					names[in.state] = "main"
+				} else {
+					names[in.state] = fmt.Sprintf("main_%d", n)
+					n++
+				}
+			}
+			continue
+		}
+		for i, in := range group {
+			names[in.state] = fmt.Sprintf("%s_%d", orig, i+1)
+		}
+	}
+
+	// Construct R.
+	R := &sdg.Graph{Prog: g.Prog, ProcByName: map[string]int{}}
+	r.R = R
+	r.OriginVertex = map[sdg.VertexID]sdg.VertexID{}
+	r.OriginSite = map[sdg.SiteID]sdg.SiteID{}
+	r.VariantsOf = map[string][]int{}
+	stateToRProc := map[int]int{}
+
+	for _, in := range infos {
+		orig := g.Procs[in.origProc]
+		rp := &sdg.Proc{Index: len(R.Procs), Name: names[in.state], Fn: orig.Fn}
+		R.Procs = append(R.Procs, rp)
+		R.ProcByName[rp.Name] = rp.Index
+		stateToRProc[in.state] = rp.Index
+		r.VariantsOf[orig.Name] = append(r.VariantsOf[orig.Name], rp.Index)
+		r.CallTargets = append(r.CallTargets, map[sdg.SiteID]int{})
+
+		inSet := map[sdg.VertexID]bool{}
+		for _, v := range in.vertices {
+			inSet[v] = true
+		}
+		if !inSet[orig.Entry] {
+			return nil, fmt.Errorf("core: internal error: variant of %s lacks its entry vertex", orig.Name)
+		}
+
+		// Create R vertices (in source-ID order) and site skeletons.
+		newID := map[sdg.VertexID]sdg.VertexID{}
+		for _, v := range in.vertices {
+			src := g.Vertices[v]
+			cp := *src
+			cp.Proc = rp.Index
+			cp.Site = -1 // re-linked below
+			id := R.AddVertex(&cp)
+			newID[v] = id
+			r.OriginVertex[id] = v
+		}
+		rp.Entry = newID[orig.Entry]
+		for _, fi := range orig.FormalIns {
+			if inSet[fi] {
+				rp.FormalIns = append(rp.FormalIns, newID[fi])
+			}
+		}
+		for _, fo := range orig.FormalOuts {
+			if inSet[fo] {
+				rp.FormalOuts = append(rp.FormalOuts, newID[fo])
+			}
+		}
+		for _, sid := range orig.Sites {
+			src := g.Sites[sid]
+			if !inSet[src.CallVertex] {
+				continue
+			}
+			rs := &sdg.Site{
+				ID: sdg.SiteID(len(R.Sites)), CallerProc: rp.Index,
+				Callee: src.Callee, Lib: src.Lib, Stmt: src.Stmt,
+				CallVertex: newID[src.CallVertex],
+			}
+			for _, ai := range src.ActualIns {
+				if inSet[ai] {
+					rs.ActualIns = append(rs.ActualIns, newID[ai])
+				}
+			}
+			for _, ao := range src.ActualOuts {
+				if inSet[ao] {
+					rs.ActualOuts = append(rs.ActualOuts, newID[ao])
+				}
+			}
+			R.Sites = append(R.Sites, rs)
+			rp.Sites = append(rp.Sites, rs.ID)
+			r.OriginSite[rs.ID] = sid
+			for _, vid := range append(append([]sdg.VertexID{rs.CallVertex}, rs.ActualIns...), rs.ActualOuts...) {
+				R.Vertices[vid].Site = rs.ID
+			}
+		}
+
+		// Induced intraprocedural edges (Defn. 3.13).
+		for _, v := range in.vertices {
+			for _, e := range g.Out(v) {
+				if (e.Kind == sdg.EdgeControl || e.Kind == sdg.EdgeFlow) && inSet[e.To] {
+					R.AddEdge(newID[v], newID[e.To], e.Kind)
+				}
+			}
+		}
+	}
+
+	// Wire the interprocedural edges from A6's call-site transitions.
+	for _, ce := range callEdges {
+		callerIdx, ok1 := stateToRProc[ce.caller]
+		calleeIdx, ok2 := stateToRProc[ce.callee]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: internal error: dangling call edge")
+		}
+		caller := R.Procs[callerIdx]
+		callee := R.Procs[calleeIdx]
+		var rs *sdg.Site
+		for _, sid := range caller.Sites {
+			if r.OriginSite[sid] == ce.site {
+				rs = R.Sites[sid]
+			}
+		}
+		if rs == nil {
+			return nil, fmt.Errorf("core: internal error: caller variant %s lacks site %d", caller.Name, ce.site)
+		}
+		rs.Callee = callee.Name
+		r.CallTargets[callerIdx][ce.site] = calleeIdx
+		R.AddEdge(rs.CallVertex, callee.Entry, sdg.EdgeCall)
+		for _, ai := range rs.ActualIns {
+			fi, ok := refMatchFormalIn(R, callee, ai)
+			if !ok {
+				return nil, fmt.Errorf("core: parameter mismatch: %s has no formal for %s", callee.Name, R.VertexString(ai))
+			}
+			R.AddEdge(ai, fi, sdg.EdgeParamIn)
+		}
+		for _, ao := range rs.ActualOuts {
+			fo, ok := refMatchFormalOut(R, callee, ao)
+			if !ok {
+				return nil, fmt.Errorf("core: parameter mismatch: %s has no formal-out for %s", callee.Name, R.VertexString(ao))
+			}
+			R.AddEdge(fo, ao, sdg.EdgeParamOut)
+		}
+	}
+	return r, nil
+}
+
+// refMatchFormalIn / refMatchFormalOut are the retired linear scans —
+// the differential reference for sdg.Proc.MatchFormalIn/MatchFormalOut.
+func refMatchFormalIn(g *sdg.Graph, p *sdg.Proc, aiID sdg.VertexID) (sdg.VertexID, bool) {
+	ai := g.Vertices[aiID]
+	for _, fiID := range p.FormalIns {
+		fi := g.Vertices[fiID]
+		if ai.Param != sdg.NoParam {
+			if fi.Param == ai.Param {
+				return fiID, true
+			}
+		} else if fi.Param == sdg.NoParam && fi.Var == ai.Var {
+			return fiID, true
+		}
+	}
+	return 0, false
+}
+
+func refMatchFormalOut(g *sdg.Graph, p *sdg.Proc, aoID sdg.VertexID) (sdg.VertexID, bool) {
+	ao := g.Vertices[aoID]
+	for _, foID := range p.FormalOuts {
+		fo := g.Vertices[foID]
+		if ao.IsReturn {
+			if fo.IsReturn {
+				return foID, true
+			}
+		} else if !fo.IsReturn && fo.Var == ao.Var {
+			return foID, true
+		}
+	}
+	return 0, false
+}
+
+// compareReadout requires full structural identity between the dense
+// result and the reference construction.
+func compareReadout(t *testing.T, tag string, res *core.Result, ref *refResult) {
+	t.Helper()
+	R, Q := res.R, ref.R
+	if len(R.Vertices) != len(Q.Vertices) || len(R.Sites) != len(Q.Sites) || len(R.Procs) != len(Q.Procs) {
+		t.Fatalf("%s: size mismatch: vertices %d/%d sites %d/%d procs %d/%d", tag,
+			len(R.Vertices), len(Q.Vertices), len(R.Sites), len(Q.Sites), len(R.Procs), len(Q.Procs))
+	}
+	for i := range R.Vertices {
+		a, b := R.Vertices[i], Q.Vertices[i]
+		if a.ID != b.ID || a.Kind != b.Kind || a.Proc != b.Proc || a.Site != b.Site ||
+			a.Param != b.Param || a.Var != b.Var || a.IsReturn != b.IsReturn ||
+			a.Label != b.Label || a.Stmt != b.Stmt {
+			t.Fatalf("%s: vertex %d differs: %+v vs %+v", tag, i, a, b)
+		}
+		if res.OriginVertex[i] != ref.OriginVertex[sdg.VertexID(i)] {
+			t.Fatalf("%s: origin of vertex %d: %d vs %d", tag, i, res.OriginVertex[i], ref.OriginVertex[sdg.VertexID(i)])
+		}
+	}
+	for i := range R.Procs {
+		a, b := R.Procs[i], Q.Procs[i]
+		if a.Name != b.Name || a.Entry != b.Entry || a.Fn != b.Fn ||
+			!slices.Equal(a.FormalIns, b.FormalIns) || !slices.Equal(a.FormalOuts, b.FormalOuts) ||
+			!slices.Equal(a.Vertices, b.Vertices) || !slices.Equal(a.Sites, b.Sites) {
+			t.Fatalf("%s: proc %d differs: %+v vs %+v", tag, i, a, b)
+		}
+		if R.ProcByName[a.Name] != i || Q.ProcByName[a.Name] != i {
+			t.Fatalf("%s: ProcByName[%s] inconsistent", tag, a.Name)
+		}
+	}
+	for i := range R.Sites {
+		a, b := R.Sites[i], Q.Sites[i]
+		if a.ID != b.ID || a.CallerProc != b.CallerProc || a.Callee != b.Callee ||
+			a.Lib != b.Lib || a.CallVertex != b.CallVertex || a.Stmt != b.Stmt ||
+			!slices.Equal(a.ActualIns, b.ActualIns) || !slices.Equal(a.ActualOuts, b.ActualOuts) {
+			t.Fatalf("%s: site %d differs: %+v vs %+v", tag, i, a, b)
+		}
+		if res.OriginSite[i] != ref.OriginSite[sdg.SiteID(i)] {
+			t.Fatalf("%s: origin of site %d differs", tag, i)
+		}
+	}
+	edgeSet := func(g *sdg.Graph) map[sdg.Edge]bool {
+		out := map[sdg.Edge]bool{}
+		for _, e := range g.Edges() {
+			out[e] = true
+		}
+		return out
+	}
+	re, qe := edgeSet(R), edgeSet(Q)
+	if len(re) != len(qe) {
+		t.Fatalf("%s: edge count %d vs %d", tag, len(re), len(qe))
+	}
+	for e := range re {
+		if !qe[e] {
+			t.Fatalf("%s: dense edge %+v missing from reference", tag, e)
+		}
+	}
+	if len(res.VariantsOf) != len(ref.VariantsOf) {
+		t.Fatalf("%s: VariantsOf sizes differ", tag)
+	}
+	for name, vs := range ref.VariantsOf {
+		if !slices.Equal(res.VariantsOf[name], vs) {
+			t.Fatalf("%s: VariantsOf[%s] = %v vs %v", tag, name, res.VariantsOf[name], vs)
+		}
+	}
+	// Call targets: the dense result records the specialized callee on
+	// each R site; it must name exactly the proc the reference wired.
+	for pi, targets := range ref.CallTargets {
+		for srcSite, calleeIdx := range targets {
+			found := false
+			for _, sid := range R.Procs[pi].Sites {
+				if res.OriginSite[sid] == srcSite {
+					found = true
+					if R.Sites[sid].Callee != Q.Procs[calleeIdx].Name {
+						t.Fatalf("%s: call target of site %d in proc %d: %s vs %s",
+							tag, srcSite, pi, R.Sites[sid].Callee, Q.Procs[calleeIdx].Name)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("%s: proc %d lost site %d", tag, pi, srcSite)
+			}
+		}
+	}
+}
+
+// referenceConfigs is the random corpus: a mix of non-recursive and
+// recursive programs (recursion drives multi-variant readouts).
+func referenceConfigs(n int) []workload.BenchConfig {
+	rng := rand.New(rand.NewSource(0xD15C))
+	out := make([]workload.BenchConfig, n)
+	for i := range out {
+		out[i] = workload.BenchConfig{
+			Name:           "refreadout",
+			Procs:          5 + rng.Intn(9),
+			TargetVertices: 150 + rng.Intn(350),
+			CallSites:      12 + rng.Intn(30),
+			Slices:         6,
+			Seed:           int64(7000 + i),
+			Recursive:      i%3 == 0,
+		}
+	}
+	return out
+}
+
+// TestReferenceReadoutDifferential checks the dense readout against the
+// relocated map-based reference on ≥200 random program/criterion pairs
+// (the PR acceptance bar; a reduced budget under -short), and — every
+// fourth program — that the monovariant slicer's emission over the shared
+// source graph is byte-identical before and after the dense readouts ran
+// and released their pooled storage (the source graph must never be
+// touched by a readout).
+func TestReferenceReadoutDifferential(t *testing.T) {
+	programs := 40
+	if testing.Short() {
+		programs = 10
+	}
+	pairs := 0
+	for pi, cfg := range referenceConfigs(programs) {
+		prog := workload.Generate(cfg)
+		g := sdg.MustBuild(prog)
+		sliceg.ComputeSummaryEdges(g)
+		enc := core.Encode(g)
+		rng := rand.New(rand.NewSource(cfg.Seed * 31))
+
+		var monoBefore string
+		var monoCrit []sdg.VertexID
+		checkMono := pi%4 == 0
+		if checkMono {
+			monoCrit = core.PrintfCriterion(g, "")
+			if len(monoCrit) > 0 {
+				src, err := emit.Source(g, mono.Binkley(g, monoCrit).Variants())
+				if err != nil {
+					t.Fatalf("cfg %d: mono emit: %v", pi, err)
+				}
+				monoBefore = src
+			}
+		}
+
+		// Criteria: the all-printfs criterion plus random statement and
+		// predicate vertices in all calling contexts.
+		var specs []core.CriterionSpec
+		if vs := core.PrintfCriterion(g, ""); len(vs) > 0 {
+			specs = append(specs, core.Vertices(vs))
+		}
+		var stmtVerts []sdg.VertexID
+		for _, v := range g.Vertices {
+			if v.Kind == sdg.KindStmt || v.Kind == sdg.KindPredicate {
+				stmtVerts = append(stmtVerts, v.ID)
+			}
+		}
+		for k := 0; k < 6 && len(stmtVerts) > 0; k++ {
+			specs = append(specs, core.Vertices([]sdg.VertexID{stmtVerts[rng.Intn(len(stmtVerts))]}))
+		}
+
+		for si, spec := range specs {
+			res, err := core.SpecializeWithEncoding(enc, spec)
+			if err != nil {
+				continue // empty slices etc. are not readout material
+			}
+			ref, err := referenceReadout(res)
+			if err != nil {
+				t.Fatalf("cfg %d spec %d: reference readout failed where dense succeeded: %v", pi, si, err)
+			}
+			compareReadout(t, fmt.Sprintf("cfg %d spec %d", pi, si), res, ref)
+			pairs++
+			res.Release()
+		}
+
+		if checkMono && monoBefore != "" {
+			src, err := emit.Source(g, mono.Binkley(g, monoCrit).Variants())
+			if err != nil {
+				t.Fatalf("cfg %d: mono emit after readouts: %v", pi, err)
+			}
+			if src != monoBefore {
+				t.Fatalf("cfg %d: monovariant emission changed after dense readouts released their storage", pi)
+			}
+		}
+	}
+	min := 200
+	if testing.Short() {
+		min = 40
+	}
+	if pairs < min {
+		t.Fatalf("only %d program/criterion pairs exercised the readout oracle (want >= %d)", pairs, min)
+	}
+	t.Logf("readout differential oracle: %d pairs", pairs)
+}
+
+// TestFormalMatchDifferential checks the indexed/binary-search formal
+// matching against the retired linear scans on every call site of both
+// source graphs (precomputed index path) and specialized results
+// (ordering-invariant binary-search path).
+func TestFormalMatchDifferential(t *testing.T) {
+	check := func(tag string, g *sdg.Graph) {
+		t.Helper()
+		for _, site := range g.Sites {
+			if site.Lib {
+				continue
+			}
+			idx, ok := g.ProcByName[site.Callee]
+			if !ok {
+				continue
+			}
+			callee := g.Procs[idx]
+			for _, ai := range site.ActualIns {
+				want, wok := refMatchFormalIn(g, callee, ai)
+				got, gok := callee.MatchFormalIn(g, g.Vertices[ai])
+				if wok != gok || (wok && want != got) {
+					t.Fatalf("%s: MatchFormalIn(%s) = %v,%v want %v,%v", tag, g.VertexString(ai), got, gok, want, wok)
+				}
+			}
+			for _, ao := range site.ActualOuts {
+				want, wok := refMatchFormalOut(g, callee, ao)
+				got, gok := callee.MatchFormalOut(g, g.Vertices[ao])
+				if wok != gok || (wok && want != got) {
+					t.Fatalf("%s: MatchFormalOut(%s) = %v,%v want %v,%v", tag, g.VertexString(ao), got, gok, want, wok)
+				}
+			}
+		}
+	}
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for pi, cfg := range referenceConfigs(n) {
+		g := sdg.MustBuild(workload.Generate(cfg))
+		sliceg.ComputeSummaryEdges(g)
+		check(fmt.Sprintf("cfg %d source", pi), g)
+		enc := core.Encode(g)
+		if vs := core.PrintfCriterion(g, ""); len(vs) > 0 {
+			if res, err := core.SpecializeWithEncoding(enc, core.Vertices(vs)); err == nil {
+				check(fmt.Sprintf("cfg %d R", pi), res.R)
+			}
+		}
+	}
+}

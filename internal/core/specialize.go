@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"time"
 
 	"specslice/internal/fsa"
@@ -48,18 +46,17 @@ type Result struct {
 	// reverse-deterministic form.
 	A1, A6 *fsa.FSA
 
-	// R is the specialized SDG (paper Alg. 1's output).
+	// R is the specialized SDG (paper Alg. 1's output). Its storage is
+	// pooled: Release returns it for reuse once the caller has
+	// materialized what it needs (see Result.Release).
 	R *sdg.Graph
 	// OriginVertex and OriginSite form the mapping M_C from R back to the
-	// source alphabet.
-	OriginVertex map[sdg.VertexID]sdg.VertexID
-	OriginSite   map[sdg.SiteID]sdg.SiteID
+	// source alphabet, indexed by R's dense vertex and site IDs.
+	OriginVertex []sdg.VertexID
+	OriginSite   []sdg.SiteID
 	// VariantsOf maps each source procedure name to the R-proc indices of
-	// its specializations.
+	// its specializations (consecutive in R's canonical variant order).
 	VariantsOf map[string][]int
-	// CallTargets maps, per R proc, each source call-site to the R proc
-	// index of the specialized callee.
-	CallTargets []map[sdg.SiteID]int
 
 	// StatesBeforeDeterminize / StatesAfterDeterminize support the paper's
 	// §4.2 observation that determinize shrinks in practice.
@@ -67,6 +64,9 @@ type Result struct {
 	StatesAfterDeterminize  int
 
 	Timings Timings
+
+	// space is the pooled backing of R and the origin tables.
+	space *resultSpace
 }
 
 // ClosureSlice computes only the stack-configuration slice (Alg. 1 lines
@@ -88,11 +88,11 @@ func ClosureSliceWithEncoding(enc *Encoding, spec CriterionSpec) (*fsa.FSA, map[
 	}
 	a1 := PAutomatonToFSA(enc.Prestar(a0))
 	elems := map[sdg.VertexID]bool{}
-	for _, t := range a1.Transitions() {
+	a1.Each(func(t fsa.Transition) {
 		if a1.IsStart(t.From) && !enc.IsSiteSym(t.Sym) {
 			elems[enc.SymVertex(t.Sym)] = true
 		}
-	}
+	})
 	return a1, elems, nil
 }
 
@@ -178,286 +178,6 @@ func (res *Result) finish() error {
 	return nil
 }
 
-// stateInfo captures a non-initial A6 state during readout.
-type stateInfo struct {
-	state    int
-	origProc int
-	vertices []sdg.VertexID // sorted source vertices (the Elems set)
-	key      string         // canonical identity for deterministic ordering
-	isFinal  bool
-}
-
-// readout implements Alg. 1 lines 9–24: construct the specialized SDG R
-// from the MRD automaton A6.
-func (r *Result) readout() error {
-	a6 := r.A6
-	g := r.Source
-	enc := r.Enc
-
-	starts := a6.Starts()
-	if a6.NumStates() == 0 || len(starts) == 0 {
-		return fmt.Errorf("core: slice is empty (criterion depends on nothing)")
-	}
-	if len(starts) != 1 {
-		return fmt.Errorf("core: internal error: A6 has %d start states", len(starts))
-	}
-	q0 := starts[0]
-
-	// Collect the Elems sets from the transitions leaving q0, and the
-	// call-site transitions among non-initial states.
-	vertsOf := map[int][]sdg.VertexID{}
-	type callEdge struct {
-		callee, caller int
-		site           sdg.SiteID
-	}
-	var callEdges []callEdge
-	for _, t := range a6.Transitions() {
-		if t.From == q0 {
-			if enc.IsSiteSym(t.Sym) {
-				return fmt.Errorf("core: internal error: call-site symbol on an initial transition")
-			}
-			if t.To == q0 {
-				return fmt.Errorf("core: internal error: self-loop on the initial state")
-			}
-			vertsOf[t.To] = append(vertsOf[t.To], enc.SymVertex(t.Sym))
-			continue
-		}
-		if !enc.IsSiteSym(t.Sym) {
-			return fmt.Errorf("core: internal error: vertex symbol %d on a non-initial transition", t.Sym)
-		}
-		callEdges = append(callEdges, callEdge{callee: t.From, caller: t.To, site: enc.SymSite(t.Sym)})
-	}
-
-	// Build per-state info, checking Defn. 2.10's rule 2 (one procedure per
-	// partition element).
-	var infos []*stateInfo
-	infoByState := map[int]*stateInfo{}
-	for state, vs := range vertsOf {
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-		proc := g.Vertices[vs[0]].Proc
-		for _, v := range vs {
-			if g.Vertices[v].Proc != proc {
-				return fmt.Errorf("core: partition element mixes procedures %s and %s",
-					g.Procs[proc].Name, g.Procs[g.Vertices[v].Proc].Name)
-			}
-		}
-		var sb strings.Builder
-		for _, v := range vs {
-			fmt.Fprintf(&sb, "%d,", v)
-		}
-		infos = append(infos, &stateInfo{
-			state: state, origProc: proc, vertices: vs,
-			key: sb.String(), isFinal: a6.IsFinal(state),
-		})
-		infoByState[infos[len(infos)-1].state] = infos[len(infos)-1]
-	}
-	// Every non-initial state must be a PDG state (reachable by one vertex
-	// symbol); a state with only call-site transitions would be a bug.
-	for _, ce := range callEdges {
-		for _, s := range []int{ce.callee, ce.caller} {
-			if _, ok := infoByState[s]; !ok {
-				return fmt.Errorf("core: internal error: state %d has call transitions but no vertices", s)
-			}
-		}
-	}
-
-	// Deterministic order: by source proc index, then canonical key.
-	sort.Slice(infos, func(i, j int) bool {
-		if infos[i].origProc != infos[j].origProc {
-			return infos[i].origProc < infos[j].origProc
-		}
-		return infos[i].key < infos[j].key
-	})
-
-	// Assign names: a single variant keeps the original name; multiple
-	// variants are numbered. The final-state variant of main keeps "main".
-	byProc := map[int][]*stateInfo{}
-	for _, in := range infos {
-		byProc[in.origProc] = append(byProc[in.origProc], in)
-	}
-	names := map[int]string{} // state -> specialized name
-	for procIdx, group := range byProc {
-		orig := g.Procs[procIdx].Name
-		if len(group) == 1 {
-			names[group[0].state] = orig
-			continue
-		}
-		if orig == "main" {
-			// Keep "main" on the final-state variant.
-			n := 1
-			for _, in := range group {
-				if in.isFinal {
-					names[in.state] = "main"
-				} else {
-					names[in.state] = fmt.Sprintf("main_%d", n)
-					n++
-				}
-			}
-			continue
-		}
-		for i, in := range group {
-			names[in.state] = fmt.Sprintf("%s_%d", orig, i+1)
-		}
-	}
-
-	// Construct R.
-	R := &sdg.Graph{Prog: g.Prog, ProcByName: map[string]int{}}
-	r.R = R
-	r.OriginVertex = map[sdg.VertexID]sdg.VertexID{}
-	r.OriginSite = map[sdg.SiteID]sdg.SiteID{}
-	r.VariantsOf = map[string][]int{}
-	stateToRProc := map[int]int{}
-
-	for _, in := range infos {
-		orig := g.Procs[in.origProc]
-		rp := &sdg.Proc{Index: len(R.Procs), Name: names[in.state], Fn: orig.Fn}
-		R.Procs = append(R.Procs, rp)
-		R.ProcByName[rp.Name] = rp.Index
-		stateToRProc[in.state] = rp.Index
-		r.VariantsOf[orig.Name] = append(r.VariantsOf[orig.Name], rp.Index)
-		r.CallTargets = append(r.CallTargets, map[sdg.SiteID]int{})
-
-		inSet := map[sdg.VertexID]bool{}
-		for _, v := range in.vertices {
-			inSet[v] = true
-		}
-		if !inSet[orig.Entry] {
-			return fmt.Errorf("core: internal error: variant of %s lacks its entry vertex", orig.Name)
-		}
-
-		// Create R vertices (in source-ID order) and site skeletons.
-		newID := map[sdg.VertexID]sdg.VertexID{}
-		siteMap := map[sdg.SiteID]*sdg.Site{} // source site -> R site
-		for _, v := range in.vertices {
-			src := g.Vertices[v]
-			cp := *src
-			cp.Proc = rp.Index
-			cp.Site = -1 // re-linked below
-			id := R.AddVertex(&cp)
-			newID[v] = id
-			r.OriginVertex[id] = v
-		}
-		rp.Entry = newID[orig.Entry]
-		for _, fi := range orig.FormalIns {
-			if inSet[fi] {
-				rp.FormalIns = append(rp.FormalIns, newID[fi])
-			}
-		}
-		for _, fo := range orig.FormalOuts {
-			if inSet[fo] {
-				rp.FormalOuts = append(rp.FormalOuts, newID[fo])
-			}
-		}
-		for _, sid := range orig.Sites {
-			src := g.Sites[sid]
-			if !inSet[src.CallVertex] {
-				continue
-			}
-			rs := &sdg.Site{
-				ID: sdg.SiteID(len(R.Sites)), CallerProc: rp.Index,
-				Callee: src.Callee, Lib: src.Lib, Stmt: src.Stmt,
-				CallVertex: newID[src.CallVertex],
-			}
-			for _, ai := range src.ActualIns {
-				if inSet[ai] {
-					rs.ActualIns = append(rs.ActualIns, newID[ai])
-				}
-			}
-			for _, ao := range src.ActualOuts {
-				if inSet[ao] {
-					rs.ActualOuts = append(rs.ActualOuts, newID[ao])
-				}
-			}
-			R.Sites = append(R.Sites, rs)
-			rp.Sites = append(rp.Sites, rs.ID)
-			r.OriginSite[rs.ID] = sid
-			siteMap[sid] = rs
-			for _, vid := range append(append([]sdg.VertexID{rs.CallVertex}, rs.ActualIns...), rs.ActualOuts...) {
-				R.Vertices[vid].Site = rs.ID
-			}
-		}
-
-		// Induced intraprocedural edges (Defn. 3.13).
-		for _, v := range in.vertices {
-			for _, e := range g.Out(v) {
-				if (e.Kind == sdg.EdgeControl || e.Kind == sdg.EdgeFlow) && inSet[e.To] {
-					R.AddEdge(newID[v], newID[e.To], e.Kind)
-				}
-			}
-		}
-	}
-
-	// Wire the interprocedural edges from A6's call-site transitions
-	// (Alg. 1 lines 19–24): q1 --C--> q2 means q2's PDG calls q1's PDG at
-	// (the copy of) site C.
-	for _, ce := range callEdges {
-		callerIdx, ok1 := stateToRProc[ce.caller]
-		calleeIdx, ok2 := stateToRProc[ce.callee]
-		if !ok1 || !ok2 {
-			return fmt.Errorf("core: internal error: dangling call edge")
-		}
-		caller := R.Procs[callerIdx]
-		callee := R.Procs[calleeIdx]
-		var rs *sdg.Site
-		for _, sid := range caller.Sites {
-			if r.OriginSite[sid] == ce.site {
-				rs = R.Sites[sid]
-			}
-		}
-		if rs == nil {
-			return fmt.Errorf("core: internal error: caller variant %s lacks site %d", caller.Name, ce.site)
-		}
-		rs.Callee = callee.Name
-		r.CallTargets[callerIdx][ce.site] = calleeIdx
-		R.AddEdge(rs.CallVertex, callee.Entry, sdg.EdgeCall)
-		for _, ai := range rs.ActualIns {
-			fi, ok := matchFormalIn(R, callee, ai)
-			if !ok {
-				return fmt.Errorf("core: parameter mismatch: %s has no formal for %s", callee.Name, R.VertexString(ai))
-			}
-			R.AddEdge(ai, fi, sdg.EdgeParamIn)
-		}
-		for _, ao := range rs.ActualOuts {
-			fo, ok := matchFormalOut(R, callee, ao)
-			if !ok {
-				return fmt.Errorf("core: parameter mismatch: %s has no formal-out for %s", callee.Name, R.VertexString(ao))
-			}
-			R.AddEdge(fo, ao, sdg.EdgeParamOut)
-		}
-	}
-	return nil
-}
-
-func matchFormalIn(g *sdg.Graph, p *sdg.Proc, aiID sdg.VertexID) (sdg.VertexID, bool) {
-	ai := g.Vertices[aiID]
-	for _, fiID := range p.FormalIns {
-		fi := g.Vertices[fiID]
-		if ai.Param != sdg.NoParam {
-			if fi.Param == ai.Param {
-				return fiID, true
-			}
-		} else if fi.Param == sdg.NoParam && fi.Var == ai.Var {
-			return fiID, true
-		}
-	}
-	return 0, false
-}
-
-func matchFormalOut(g *sdg.Graph, p *sdg.Proc, aoID sdg.VertexID) (sdg.VertexID, bool) {
-	ao := g.Vertices[aoID]
-	for _, foID := range p.FormalOuts {
-		fo := g.Vertices[foID]
-		if ao.IsReturn {
-			if fo.IsReturn {
-				return foID, true
-			}
-		} else if !fo.IsReturn && fo.Var == ao.Var {
-			return foID, true
-		}
-	}
-	return 0, false
-}
-
 // CheckNoMismatches verifies Cor. 3.19 on an SDG: at every non-library
 // call-site, the actuals and the callee's formals agree exactly in both
 // directions.
@@ -480,12 +200,12 @@ func CheckNoMismatches(g *sdg.Graph) error {
 				site.ID, site.Callee, len(site.ActualOuts), len(callee.FormalOuts))
 		}
 		for _, ai := range site.ActualIns {
-			if _, ok := matchFormalIn(g, callee, ai); !ok {
+			if _, ok := callee.MatchFormalIn(g, g.Vertices[ai]); !ok {
 				return fmt.Errorf("site %d -> %s: unmatched actual-in %s", site.ID, site.Callee, g.VertexString(ai))
 			}
 		}
 		for _, ao := range site.ActualOuts {
-			if _, ok := matchFormalOut(g, callee, ao); !ok {
+			if _, ok := callee.MatchFormalOut(g, g.Vertices[ao]); !ok {
 				return fmt.Errorf("site %d -> %s: unmatched actual-out %s", site.ID, site.Callee, g.VertexString(ao))
 			}
 		}
@@ -497,11 +217,11 @@ func CheckNoMismatches(g *sdg.Graph) error {
 // Elems(L(A1)).
 func (r *Result) SliceElems() map[sdg.VertexID]bool {
 	out := map[sdg.VertexID]bool{}
-	for _, t := range r.A1.Transitions() {
+	r.A1.Each(func(t fsa.Transition) {
 		if r.A1.IsStart(t.From) && !r.Enc.IsSiteSym(t.Sym) {
 			out[r.Enc.SymVertex(t.Sym)] = true
 		}
-	}
+	})
 	return out
 }
 
@@ -539,8 +259,14 @@ func (r *Result) Variants() []ProcVariant {
 		for _, rv := range rp.Vertices {
 			v.Vertices[r.OriginVertex[rv]] = true
 		}
-		for site, callee := range r.CallTargets[i] {
-			v.CallTarget[site] = r.R.Procs[callee].Name
+		// Every non-library R site is wired to exactly one specialized
+		// callee variant (reverse determinism: one call transition per
+		// site symbol into the caller's state), recorded in its Callee.
+		for _, sid := range rp.Sites {
+			rs := r.R.Sites[sid]
+			if !rs.Lib {
+				v.CallTarget[r.OriginSite[sid]] = rs.Callee
+			}
 		}
 		out[i] = v
 	}

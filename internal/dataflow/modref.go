@@ -2,6 +2,15 @@
 // SDG builder needs: GMOD/GREF (globals a procedure may modify/reference,
 // transitively) and MustMod (globals a procedure assigns on every
 // terminating path), in the style of Cooper–Kennedy.
+//
+// The summary equations only flow callee → caller, so the solver runs
+// bottom-up over the condensation of the call graph: each strongly
+// connected component is solved to its (unique) fixpoint once its callees
+// are final, non-recursive procedures in a single pass. Components at the
+// same condensation level share no call edges, so a level's components
+// solve in parallel across a worker pool; the fixpoints are unique, which
+// is what keeps the result — and everything downstream, vertex numbering
+// included — byte-identical no matter the worker count.
 package dataflow
 
 import (
@@ -9,6 +18,7 @@ import (
 
 	"specslice/internal/cfg"
 	"specslice/internal/lang"
+	"specslice/internal/par"
 )
 
 // StringSet is a set of variable names.
@@ -77,12 +87,21 @@ func (mr *ModRef) FormalInGlobals(fn string) StringSet {
 	return out
 }
 
-// ComputeModRef computes GMOD, GREF, and MustMod for every function.
-// Indirect calls are treated conservatively as calls to any address-taken
-// function (Andersen-style, flow-insensitive); programs transformed by the
-// funcptr package contain no indirect calls and get precise results.
+// ComputeModRef computes GMOD, GREF, and MustMod for every function,
+// single-threaded. Indirect calls are treated conservatively as calls to
+// any address-taken function (Andersen-style, flow-insensitive); programs
+// transformed by the funcptr package contain no indirect calls and get
+// precise results.
 func ComputeModRef(prog *lang.Program) *ModRef {
-	return computeModRef(prog, prog.Funcs, nil)
+	return computeModRef(prog, prog.Funcs, nil, 1)
+}
+
+// ComputeModRefWorkers is ComputeModRef over a worker pool of the given
+// size (<= 0 means GOMAXPROCS): call-graph components at the same
+// condensation level are analyzed concurrently. The result is identical
+// for every worker count.
+func ComputeModRefWorkers(prog *lang.Program, workers int) *ModRef {
+	return computeModRef(prog, prog.Funcs, nil, workers)
 }
 
 // AdvanceModRef computes newProg's summaries incrementally against a
@@ -99,13 +118,22 @@ func AdvanceModRef(newProg, oldProg *lang.Program, old *ModRef) *ModRef {
 	if old == nil || oldProg == nil {
 		return ComputeModRef(newProg)
 	}
+	return AdvanceModRefDiff(newProg, oldProg, old, lang.DiffPrograms(oldProg, newProg))
+}
+
+// AdvanceModRefDiff is AdvanceModRef against a precomputed program diff,
+// for callers (sdg.Advance) that already diffed the versions through
+// retained per-procedure hashes and should not pay a second print pass.
+func AdvanceModRefDiff(newProg, oldProg *lang.Program, old *ModRef, diff lang.ProgramDiff) *ModRef {
+	if old == nil || oldProg == nil {
+		return ComputeModRef(newProg)
+	}
 	// The caller-cutoff logic below tracks dependencies through direct
 	// calls only, so programs still containing indirect calls (callers
 	// invisible in the reverse call graph) get the full recomputation.
 	if hasIndirectCalls(newProg) || hasIndirectCalls(oldProg) {
 		return ComputeModRef(newProg)
 	}
-	diff := lang.DiffPrograms(oldProg, newProg)
 	if diff.GlobalsChanged || !sameStrings(addressTakenFuncs(oldProg), addressTakenFuncs(newProg)) {
 		return ComputeModRef(newProg)
 	}
@@ -158,7 +186,7 @@ func AdvanceModRef(newProg, oldProg *lang.Program, old *ModRef) *ModRef {
 			base.MustMod[fn.Name] = old.MustMod[fn.Name].Clone()
 			base.UEREF[fn.Name] = old.UEREF[fn.Name].Clone()
 		}
-		mr := computeModRef(newProg, dirtyFns, base)
+		mr := computeModRef(newProg, dirtyFns, base, 1)
 
 		// Cutoff check: if every dirty procedure's summaries match its old
 		// ones, the callers outside the dirty set — computed against
@@ -193,19 +221,64 @@ func summariesEqual(a, b *ModRef, name string) bool {
 		a.UEREF[name].Equal(b.UEREF[name])
 }
 
-// computeModRef runs the summary fixpoints over fns only; base carries
+// solver carries the shared inputs of one computeModRef run plus the
+// per-function summary slots the component workers write. Slots are
+// indexed by position in fns; a worker only writes the slots of its own
+// component and only reads slots of strictly lower condensation levels
+// (already final) or its own component, so slot access is race-free
+// without locks.
+type solver struct {
+	prog         *lang.Program
+	globals      StringSet
+	addressTaken []string
+	base         *ModRef // final summaries of procedures outside fns
+	fns          []*lang.FuncDecl
+	idxOf        map[string]int // fn name -> index in fns
+	graphs       []*cfg.Graph
+
+	gmod, gref, mustmod, ueref []StringSet
+}
+
+func (s *solver) curGMOD(name string) StringSet {
+	if i, ok := s.idxOf[name]; ok {
+		return s.gmod[i]
+	}
+	return s.base.GMOD[name]
+}
+
+func (s *solver) curGREF(name string) StringSet {
+	if i, ok := s.idxOf[name]; ok {
+		return s.gref[i]
+	}
+	return s.base.GREF[name]
+}
+
+func (s *solver) curMustMod(name string) StringSet {
+	if i, ok := s.idxOf[name]; ok {
+		return s.mustmod[i]
+	}
+	return s.base.MustMod[name]
+}
+
+func (s *solver) curUEREF(name string) StringSet {
+	if i, ok := s.idxOf[name]; ok {
+		return s.ueref[i]
+	}
+	return s.base.UEREF[name]
+}
+
+// computeModRef runs the summary analyses over fns only; base carries
 // final summaries for every other procedure (nil means fns covers the
-// whole program). Restricting the iteration is sound because the dirty
-// set is closed under callers: every procedure outside fns has its final
-// summaries in base, and summaries only flow callee -> caller.
-func computeModRef(prog *lang.Program, fns []*lang.FuncDecl, base *ModRef) *ModRef {
+// whole program). Restricting the iteration is sound because the caller
+// keeps the fns set closed under callers: every procedure outside fns has
+// its final summaries in base, and summaries only flow callee -> caller.
+func computeModRef(prog *lang.Program, fns []*lang.FuncDecl, base *ModRef, workers int) *ModRef {
 	globals := StringSet{}
 	for _, g := range prog.Globals {
 		if !g.IsFnPtr {
 			globals[g.Name] = true
 		}
 	}
-	addressTaken := addressTakenFuncs(prog)
 
 	mr := base
 	if mr == nil {
@@ -216,66 +289,252 @@ func computeModRef(prog *lang.Program, fns []*lang.FuncDecl, base *ModRef) *ModR
 			UEREF:   map[string]StringSet{},
 		}
 	}
-	for _, f := range fns {
-		mr.GMOD[f.Name] = StringSet{}
-		mr.GREF[f.Name] = StringSet{}
-		mr.MustMod[f.Name] = globals.Clone() // top; shrinks to greatest fixed point
-		mr.UEREF[f.Name] = StringSet{}
+	if len(fns) == 0 {
+		return mr
+	}
+
+	s := &solver{
+		prog:         prog,
+		globals:      globals,
+		addressTaken: addressTakenFuncs(prog),
+		base:         mr,
+		fns:          fns,
+		idxOf:        make(map[string]int, len(fns)),
+		graphs:       make([]*cfg.Graph, len(fns)),
+		gmod:         make([]StringSet, len(fns)),
+		gref:         make([]StringSet, len(fns)),
+		mustmod:      make([]StringSet, len(fns)),
+		ueref:        make([]StringSet, len(fns)),
+	}
+	for i, fn := range fns {
+		s.idxOf[fn.Name] = i
+	}
+	par.For(workers, len(fns), func(i int) {
+		s.graphs[i] = cfg.Build(fns[i])
+	})
+
+	// Call graph restricted to fns, condensed into SCCs, grouped into
+	// levels (level = 1 + max callee level), callees first.
+	callees := make([][]int, len(fns))
+	for i, fn := range fns {
+		seen := map[int]bool{}
+		for _, st := range fn.Stmts() {
+			c, ok := st.(*lang.CallStmt)
+			if !ok {
+				continue
+			}
+			for _, callee := range calleesOf(prog, c, s.addressTaken) {
+				if j, in := s.idxOf[callee]; in && !seen[j] {
+					seen[j] = true
+					callees[i] = append(callees[i], j)
+				}
+			}
+		}
+		sort.Ints(callees[i])
+	}
+	levels := sccLevels(len(fns), callees)
+
+	// Solve levels bottom-up; components within a level are independent
+	// (a callee is always strictly lower-level) and run in parallel.
+	for _, comps := range levels {
+		par.For(workers, len(comps), func(ci int) {
+			s.solveComponent(comps[ci], callees)
+		})
+	}
+
+	// Install the slots (the maps are shared with readers of base, so the
+	// parallel phase never touches them).
+	for i, fn := range fns {
+		mr.GMOD[fn.Name] = s.gmod[i]
+		mr.GREF[fn.Name] = s.gref[i]
+		mr.MustMod[fn.Name] = s.mustmod[i]
+		mr.UEREF[fn.Name] = s.ueref[i]
+	}
+	return mr
+}
+
+// sccLevels computes the strongly connected components of the call graph
+// (Tarjan, iterative) and groups them by condensation level, lowest
+// (callee-most) first. Component member lists and the components within a
+// level are in ascending function order, so the schedule is deterministic.
+func sccLevels(n int, succs [][]int) [][][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	compOf := [][]int{}
+	next := 0
+
+	type frame struct{ v, ci int }
+	var frames []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{root, 0})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ci == 0 {
+				index[v], low[v] = next, next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ci < len(succs[v]) {
+				w := succs[v][f.ci]
+				f.ci++
+				if index[w] == unvisited {
+					frames = append(frames, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(compOf)
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(members)
+				compOf = append(compOf, members)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+
+	// Level of a component: 1 + max level of callee components.
+	level := make([]int, len(compOf))
+	maxLevel := 0
+	// Tarjan emits components in reverse topological order (callees
+	// before callers), so one pass in emission order suffices.
+	for ci, members := range compOf {
+		lv := 0
+		for _, v := range members {
+			for _, w := range succs[v] {
+				if comp[w] != ci && level[comp[w]]+1 > lv {
+					lv = level[comp[w]] + 1
+				}
+			}
+		}
+		level[ci] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	out := make([][][]int, maxLevel+1)
+	for ci, members := range compOf {
+		out[level[ci]] = append(out[level[ci]], members)
+	}
+	for _, comps := range out {
+		sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	}
+	return out
+}
+
+// solveComponent runs the three summary fixpoints over one SCC, reading
+// already-final callee summaries from lower levels (or base) and writing
+// the component members' slots. Non-recursive components converge in a
+// single pass of each analysis.
+func (s *solver) solveComponent(members []int, callees [][]int) {
+	recursive := len(members) > 1
+	if !recursive {
+		v := members[0]
+		for _, w := range callees[v] {
+			if w == v {
+				recursive = true
+				break
+			}
+		}
+	}
+	for _, i := range members {
+		s.gmod[i] = StringSet{}
+		s.gref[i] = StringSet{}
+		s.mustmod[i] = s.globals.Clone() // top; shrinks to greatest fixed point
+		s.ueref[i] = StringSet{}
 	}
 
 	// GMOD/GREF: least fixed point, growing.
-	for changed := true; changed; {
-		changed = false
-		for _, fn := range fns {
-			gm, gr := mr.GMOD[fn.Name], mr.GREF[fn.Name]
+	for {
+		changed := false
+		for _, i := range members {
+			fn := s.fns[i]
+			gm, gr := s.gmod[i], s.gref[i]
 			before := len(gm) + len(gr)
-			for _, s := range fn.Stmts() {
-				mr.addStmtModRef(prog, fn, s, globals, addressTaken, gm, gr)
+			for _, st := range fn.Stmts() {
+				s.addStmtModRef(fn, st, gm, gr)
 			}
 			if len(gm)+len(gr) != before {
 				changed = true
 			}
 		}
+		if !recursive || !changed {
+			break
+		}
 	}
 
 	// MustMod: greatest fixed point, shrinking. Needs a per-function
 	// forward must-analysis over the executable CFG.
-	graphs := map[string]*cfg.Graph{}
-	for _, fn := range fns {
-		graphs[fn.Name] = cfg.Build(fn)
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, fn := range fns {
-			outs := mustDefOuts(prog, fn, graphs[fn.Name], globals, addressTaken, mr)
-			got := outs[graphs[fn.Name].Exit.ID]
-			if !got.Equal(mr.MustMod[fn.Name]) {
-				mr.MustMod[fn.Name] = got
+	for {
+		changed := false
+		for _, i := range members {
+			outs := s.mustDefOuts(i)
+			got := outs[s.graphs[i].Exit.ID]
+			if !got.Equal(s.mustmod[i]) {
+				s.mustmod[i] = got
 				changed = true
 			}
+		}
+		if !recursive || !changed {
+			break
 		}
 	}
 
 	// UEREF: least fixed point, growing. A global is upward-exposed in fn
 	// if some node uses it (directly, or via a callee's UEREF) at a point
 	// where it is not yet definitely assigned.
-	mustOuts := map[string][]StringSet{}
-	for _, fn := range fns {
-		mustOuts[fn.Name] = mustDefOuts(prog, fn, graphs[fn.Name], globals, addressTaken, mr)
+	mustOuts := make([][]StringSet, len(members))
+	for mi, i := range members {
+		mustOuts[mi] = s.mustDefOuts(i)
 	}
-	for changed := true; changed; {
-		changed = false
-		for _, fn := range fns {
-			g := graphs[fn.Name]
-			outs := mustOuts[fn.Name]
-			ue := mr.UEREF[fn.Name]
+	for {
+		changed := false
+		for mi, i := range members {
+			g := s.graphs[i]
+			outs := mustOuts[mi]
+			ue := s.ueref[i]
 			before := len(ue)
-			for i, node := range g.Nodes {
-				uses := nodeGlobalUses(prog, node, globals, addressTaken, mr)
+			for ni, node := range g.Nodes {
+				uses := s.nodeGlobalUses(node)
 				if len(uses) == 0 {
 					continue
 				}
-				in := mustDefIn(g, outs, i, globals)
+				in := s.mustDefIn(g, outs, ni)
 				for v := range uses {
 					if !in[v] {
 						ue[v] = true
@@ -286,8 +545,10 @@ func computeModRef(prog *lang.Program, fns []*lang.FuncDecl, base *ModRef) *ModR
 				changed = true
 			}
 		}
+		if !recursive || !changed {
+			break
+		}
 	}
-	return mr
 }
 
 func hasIndirectCalls(prog *lang.Program) bool {
@@ -315,7 +576,7 @@ func sameStrings(a, b []string) bool {
 
 // mustDefIn computes the set of globals definitely assigned before node i
 // begins, as the meet over its executable predecessors.
-func mustDefIn(g *cfg.Graph, outs []StringSet, i int, globals StringSet) StringSet {
+func (s *solver) mustDefIn(g *cfg.Graph, outs []StringSet, i int) StringSet {
 	if g.Nodes[i].Kind == cfg.KindEntry {
 		return StringSet{}
 	}
@@ -333,7 +594,7 @@ func mustDefIn(g *cfg.Graph, outs []StringSet, i int, globals StringSet) StringS
 		}
 	}
 	if first {
-		return globals.Clone() // unreachable
+		return s.globals.Clone() // unreachable
 	}
 	return in
 }
@@ -341,21 +602,21 @@ func mustDefIn(g *cfg.Graph, outs []StringSet, i int, globals StringSet) StringS
 // nodeGlobalUses returns the globals referenced by the node: direct variable
 // references in its expressions, plus the callee's upward-exposed globals
 // for call nodes.
-func nodeGlobalUses(prog *lang.Program, node *cfg.Node, globals StringSet, addressTaken []string, mr *ModRef) StringSet {
+func (s *solver) nodeGlobalUses(node *cfg.Node) StringSet {
 	uses := StringSet{}
 	if node.Stmt == nil {
 		return uses
 	}
 	for _, e := range lang.StmtExprs(node.Stmt) {
 		for _, v := range lang.ExprVars(e) {
-			if globals[v] {
+			if s.globals[v] {
 				uses[v] = true
 			}
 		}
 	}
 	if c, ok := node.Stmt.(*lang.CallStmt); ok {
-		for _, callee := range calleesOf(prog, c, addressTaken) {
-			for g := range mr.UEREF[callee] {
+		for _, callee := range calleesOf(s.prog, c, s.addressTaken) {
+			for g := range s.curUEREF(callee) {
 				uses[g] = true
 			}
 		}
@@ -363,20 +624,20 @@ func nodeGlobalUses(prog *lang.Program, node *cfg.Node, globals StringSet, addre
 	return uses
 }
 
-func (mr *ModRef) addStmtModRef(prog *lang.Program, fn *lang.FuncDecl, s lang.Stmt, globals StringSet, addressTaken []string, gm, gr StringSet) {
+func (s *solver) addStmtModRef(fn *lang.FuncDecl, st lang.Stmt, gm, gr StringSet) {
 	refExpr := func(e lang.Expr) {
 		for _, v := range lang.ExprVars(e) {
-			if globals[v] {
+			if s.globals[v] {
 				gr[v] = true
 			}
 		}
 	}
-	switch x := s.(type) {
+	switch x := st.(type) {
 	case *lang.DeclStmt:
 		refExpr(x.Init)
 	case *lang.AssignStmt:
 		refExpr(x.RHS)
-		if globals[x.LHS] {
+		if s.globals[x.LHS] {
 			gm[x.LHS] = true
 		}
 	case *lang.IfStmt:
@@ -390,37 +651,38 @@ func (mr *ModRef) addStmtModRef(prog *lang.Program, fn *lang.FuncDecl, s lang.St
 			refExpr(a)
 		}
 	case *lang.ScanfStmt:
-		if globals[x.Var] {
+		if s.globals[x.Var] {
 			gm[x.Var] = true
 		}
 	case *lang.CallStmt:
 		for _, a := range x.Args {
 			refExpr(a)
 		}
-		if globals[x.Target] {
+		if s.globals[x.Target] {
 			gm[x.Target] = true
 		}
-		for _, callee := range calleesOf(prog, x, addressTaken) {
-			for g := range mr.GMOD[callee] {
+		for _, callee := range calleesOf(s.prog, x, s.addressTaken) {
+			for g := range s.curGMOD(callee) {
 				gm[g] = true
 			}
-			for g := range mr.GREF[callee] {
+			for g := range s.curGREF(callee) {
 				gr[g] = true
 			}
 		}
 	}
 }
 
-// mustDefOuts runs the intraprocedural forward must-assigned analysis using
-// the current MustMod summaries for callees, returning the per-node
-// "definitely assigned at node end" sets.
-func mustDefOuts(prog *lang.Program, fn *lang.FuncDecl, g *cfg.Graph, globals StringSet, addressTaken []string, mr *ModRef) []StringSet {
+// mustDefOuts runs the intraprocedural forward must-assigned analysis for
+// fns[i] using the current MustMod summaries for callees, returning the
+// per-node "definitely assigned at node end" sets.
+func (s *solver) mustDefOuts(i int) []StringSet {
+	g := s.graphs[i]
 	n := len(g.Nodes)
 	// out[i] = set of globals definitely assigned on every path from entry
 	// to the end of node i. Initialize to top (all globals) except entry.
 	out := make([]StringSet, n)
-	for i := range out {
-		out[i] = globals.Clone()
+	for ni := range out {
+		out[ni] = s.globals.Clone()
 	}
 	out[g.Entry.ID] = StringSet{}
 
@@ -431,22 +693,22 @@ func mustDefOuts(prog *lang.Program, fn *lang.FuncDecl, g *cfg.Graph, globals St
 		}
 		switch x := node.Stmt.(type) {
 		case *lang.AssignStmt:
-			if globals[x.LHS] {
+			if s.globals[x.LHS] {
 				gs[x.LHS] = true
 			}
 		case *lang.ScanfStmt:
-			if globals[x.Var] {
+			if s.globals[x.Var] {
 				gs[x.Var] = true
 			}
 		case *lang.CallStmt:
-			if globals[x.Target] {
+			if s.globals[x.Target] {
 				gs[x.Target] = true
 			}
-			callees := calleesOf(prog, x, addressTaken)
+			callees := calleesOf(s.prog, x, s.addressTaken)
 			if len(callees) > 0 {
-				meet := mr.MustMod[callees[0]].Clone()
+				meet := s.curMustMod(callees[0]).Clone()
 				for _, c := range callees[1:] {
-					meet = intersect(meet, mr.MustMod[c])
+					meet = intersect(meet, s.curMustMod(c))
 				}
 				for v := range meet {
 					gs[v] = true
@@ -458,14 +720,14 @@ func mustDefOuts(prog *lang.Program, fn *lang.FuncDecl, g *cfg.Graph, globals St
 
 	for changed := true; changed; {
 		changed = false
-		for i := 0; i < n; i++ {
-			node := g.Nodes[i]
+		for ni := 0; ni < n; ni++ {
+			node := g.Nodes[ni]
 			if node.Kind == cfg.KindEntry {
 				continue
 			}
 			var in StringSet
 			first := true
-			for _, e := range g.Preds[i] {
+			for _, e := range g.Preds[ni] {
 				if e.Pseudo {
 					continue
 				}
@@ -477,13 +739,13 @@ func mustDefOuts(prog *lang.Program, fn *lang.FuncDecl, g *cfg.Graph, globals St
 				}
 			}
 			if first { // unreachable node
-				in = globals.Clone()
+				in = s.globals.Clone()
 			}
 			for v := range gen(node) {
 				in[v] = true
 			}
-			if !in.Equal(out[i]) {
-				out[i] = in
+			if !in.Equal(out[ni]) {
+				out[ni] = in
 				changed = true
 			}
 		}

@@ -71,6 +71,11 @@ func (e *Engine) Advance(newProg *lang.Program) (*Engine, *sdg.DeltaStats, error
 // Graph returns the underlying SDG.
 func (e *Engine) Graph() *sdg.Graph { return e.g }
 
+// BuildStats reports the phase timings and worker-pool width of the cold
+// build that produced the engine's graph (zero for advanced engines,
+// whose graphs were not built from scratch).
+func (e *Engine) BuildStats() sdg.BuildStats { return e.g.BuildStats() }
+
 // Encoding returns the cached PDS encoding, building it on first use. The
 // summary-edge fixpoint runs first: it is the only graph mutation, so
 // sequencing every encoding (and hence every slice request) behind it

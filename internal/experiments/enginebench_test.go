@@ -30,6 +30,12 @@ var engineBenchRequiredKeys = []string{
 	"incremental_ns_per_op",
 	"advance_cold_ns_per_op",
 	"advance_speedup",
+	"readout_ns_per_op",
+	"readout_allocs_per_op",
+	"batch_ns_by_workers",
+	"cold_build_ns_by_workers",
+	"cold_build_parallel_speedup",
+	"cold_build_phase_ns",
 }
 
 func TestEngineBenchSchemaKeys(t *testing.T) {
@@ -62,7 +68,7 @@ func TestRunEngineBenchSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eb.AdvanceSuite != "tcas" || eb.AdvanceEdits < 1 {
+	if eb.AdvanceSuite != "gzip" || eb.AdvanceEdits < 1 {
 		t.Errorf("advance suite/edits = %q/%d", eb.AdvanceSuite, eb.AdvanceEdits)
 	}
 	if eb.IncrementalNsPerOp <= 0 || eb.AdvanceColdNsPerOp <= 0 {
@@ -70,5 +76,22 @@ func TestRunEngineBenchSmoke(t *testing.T) {
 	}
 	if eb.AdvanceSpeedup <= 0 {
 		t.Errorf("advance speedup = %v, want > 0", eb.AdvanceSpeedup)
+	}
+	if eb.ReadoutNsPerOp <= 0 {
+		t.Errorf("readout ns per op = %v, want > 0", eb.ReadoutNsPerOp)
+	}
+	if eb.ReadoutAllocsPerOp > 8 {
+		t.Errorf("readout allocs per op = %v, want <= 8 (arena-backed readout regressed)", eb.ReadoutAllocsPerOp)
+	}
+	for _, w := range []string{"1", "2", "4"} {
+		if eb.BatchNsByWorkers[w] <= 0 || eb.ColdBuildNsByWorkers[w] <= 0 {
+			t.Errorf("worker sweep row %q missing: batch=%v cold=%v", w, eb.BatchNsByWorkers[w], eb.ColdBuildNsByWorkers[w])
+		}
+	}
+	if eb.ColdBuildParallelSpeedup <= 0 {
+		t.Errorf("cold build parallel speedup = %v, want > 0", eb.ColdBuildParallelSpeedup)
+	}
+	if eb.ColdBuildPhases == nil || eb.ColdBuildPhases.ModRef <= 0 {
+		t.Errorf("cold build phases not measured: %+v", eb.ColdBuildPhases)
 	}
 }

@@ -129,6 +129,12 @@ func (a *FSA) each(f func(Transition)) {
 	}
 }
 
+// Each visits every transition, grouped by source state in insertion
+// order — the allocation-free alternative to Transitions() for callers
+// that do not need the sorted copy (the core readout and the slice
+// projections consume automata this way).
+func (a *FSA) Each(f func(Transition)) { a.each(f) }
+
 // Transitions returns every transition, ordered by (from, sym, to).
 func (a *FSA) Transitions() []Transition {
 	out := make([]Transition, 0, a.index.n)

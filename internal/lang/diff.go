@@ -64,25 +64,41 @@ func (d ProgramDiff) HasChanges() bool {
 	return len(d.Changed)+len(d.Added)+len(d.Removed) > 0 || d.GlobalsChanged
 }
 
+// ProgramHashes returns the ProcHash of every function, keyed by name —
+// one full print pass. Incremental consumers compute it once per version
+// and reuse it for both the diff and downstream build signatures instead
+// of re-hashing the same ASTs.
+func ProgramHashes(p *Program) map[string]uint64 {
+	out := make(map[string]uint64, len(p.Funcs))
+	for _, f := range p.Funcs {
+		out[f.Name] = ProcHash(f)
+	}
+	return out
+}
+
 // DiffPrograms compares two parsed (normalized) programs procedure by
 // procedure. It is the front half of incremental SDG construction: the
 // caller combines the textual classification with interprocedural side
 // effects (mod/ref interfaces) to decide which procedure dependence graphs
 // can be reused.
 func DiffPrograms(old, new *Program) ProgramDiff {
-	oldHash := map[string]uint64{}
-	for _, f := range old.Funcs {
-		oldHash[f.Name] = ProcHash(f)
-	}
+	return DiffProgramsHashed(old, new, ProgramHashes(old), ProgramHashes(new))
+}
+
+// DiffProgramsHashed is DiffPrograms against precomputed per-procedure
+// hashes (ProgramHashes of each version), so callers that already hold
+// them — e.g. an engine advancing a version chain, whose previous graph
+// retains its hashes — diff without printing either program again.
+func DiffProgramsHashed(old, new *Program, oldHashes, newHashes map[string]uint64) ProgramDiff {
 	var d ProgramDiff
 	seen := map[string]bool{}
 	for _, f := range new.Funcs {
 		seen[f.Name] = true
-		h, ok := oldHash[f.Name]
+		h, ok := oldHashes[f.Name]
 		switch {
 		case !ok:
 			d.Added = append(d.Added, f.Name)
-		case h == ProcHash(f):
+		case h == newHashes[f.Name]:
 			d.Unchanged = append(d.Unchanged, f.Name)
 		default:
 			d.Changed = append(d.Changed, f.Name)

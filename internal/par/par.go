@@ -1,0 +1,62 @@
+// Package par provides the tiny deterministic fork-join helper the
+// analysis packages use to shard per-procedure work (PDG construction,
+// mod/ref summary batches) across a bounded worker pool. Work items are
+// identified by index, so callers write results into per-index slots and
+// merge deterministically afterwards; the helper never reorders or drops
+// items, and a worker count of one runs everything inline on the calling
+// goroutine (no scheduling, byte-identical to a plain loop).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker-pool size: values <= 0 mean
+// GOMAXPROCS, mirroring engine.BatchOptions.Workers.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// For runs f(i) for every i in [0, n), fanning the indexes out across at
+// most workers goroutines (after Workers normalization, and never more
+// than n). It returns when every call has completed. f must not panic;
+// workers == 1 (or n <= 1) runs inline on the caller's goroutine.
+func For(workers, n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next sync.Mutex
+	cursor := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := cursor
+				cursor++
+				next.Unlock()
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

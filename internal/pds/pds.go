@@ -257,6 +257,12 @@ func (e *PrestarEngine) Prestar(a *fsa.FSA) *fsa.FSA {
 // post*(L(a)): every configuration reachable from some configuration in
 // L(a). New intermediate states are created for push rules; epsilon
 // transitions appear in the result (callers may RemoveEpsilon).
+//
+// The saturation runs dense: the result automaton's packed transition
+// index doubles as the rel-membership set (Add reports newness, so no
+// separate seen-map is kept), and the epsilon/composition indexes are
+// state-indexed slices — every state is known up front, the query's plus
+// one intermediate state per push-rule (p′, γ′).
 func (p *PDS) Poststar(a *fsa.FSA) *fsa.FSA {
 	res := a.Clone()
 	for res.NumStates() < p.NumLocs {
@@ -281,37 +287,36 @@ func (p *PDS) Poststar(a *fsa.FSA) *fsa.FSA {
 		byLHS[k] = append(byLHS[k], r)
 	}
 
-	relSeen := map[fsa.Transition]bool{}
+	n := res.NumStates()
 	// epsInto[q] = control locations p with (p, ε, q) in rel.
-	epsInto := map[int][]int{}
+	epsInto := make([][]int32, n)
 	// relFrom[q] = non-eps transitions (sym, to) leaving q.
 	type symTo struct {
 		sym fsa.Symbol
 		to  int
 	}
-	relFrom := map[int][]symTo{}
+	relFrom := make([][]symTo, n)
 
+	// Every transition enters rel (= res) exactly once, when Add first
+	// admits it; the worklist holds each admitted transition until its
+	// consequences are drawn.
 	var work []fsa.Transition
 	pushT := func(t fsa.Transition) {
-		if !relSeen[t] {
+		if res.Add(t.From, t.Sym, t.To) {
 			work = append(work, t)
 		}
 	}
-	for _, t := range a.Transitions() {
+	a.Each(func(t fsa.Transition) {
 		if t.Sym == fsa.Epsilon {
 			panic("pds: query automaton must not contain epsilon transitions")
 		}
-		pushT(t)
-	}
+		// Already present in the clone; seed the worklist directly.
+		work = append(work, t)
+	})
 
 	for len(work) > 0 {
 		t := work[len(work)-1]
 		work = work[:len(work)-1]
-		if relSeen[t] {
-			continue
-		}
-		relSeen[t] = true
-		res.Add(t.From, t.Sym, t.To)
 
 		if t.Sym != fsa.Epsilon {
 			relFrom[t.From] = append(relFrom[t.From], symTo{t.Sym, t.To})
@@ -329,10 +334,10 @@ func (p *PDS) Poststar(a *fsa.FSA) *fsa.FSA {
 			}
 			// Compose with earlier epsilon transitions ending at t.From.
 			for _, q := range epsInto[t.From] {
-				pushT(fsa.Transition{From: q, Sym: t.Sym, To: t.To})
+				pushT(fsa.Transition{From: int(q), Sym: t.Sym, To: t.To})
 			}
 		} else {
-			epsInto[t.To] = append(epsInto[t.To], t.From)
+			epsInto[t.To] = append(epsInto[t.To], int32(t.From))
 			for _, st := range relFrom[t.To] {
 				pushT(fsa.Transition{From: t.From, Sym: st.sym, To: st.to})
 			}

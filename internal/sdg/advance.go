@@ -9,6 +9,7 @@ import (
 
 	"specslice/internal/dataflow"
 	"specslice/internal/lang"
+	"specslice/internal/par"
 )
 
 // This file implements procedure-granular incremental SDG construction:
@@ -77,16 +78,25 @@ func Advance(old *Graph, newProg *lang.Program) (*Graph, *DeltaStats, error) {
 			}
 		}
 	}
+	// Hash the new version once; the old version's hashes were retained by
+	// its own build, so the diff needs no second print pass.
+	newHashes := lang.ProgramHashes(newProg)
+	oldHashes := old.procHashes
+	if oldHashes == nil {
+		oldHashes = lang.ProgramHashes(old.Prog)
+	}
+	diff := lang.DiffProgramsHashed(old.Prog, newProg, oldHashes, newHashes)
 	// Mod/ref is itself advanced procedure-granularly: summaries of procs
 	// whose call subtree is textually unchanged are inherited, and the
 	// fixpoints re-run only over edited procs and their callers.
-	mr := dataflow.AdvanceModRef(newProg, old.Prog, old.modref)
-	sigs := computeBuildSigs(newProg, mr)
+	mr := dataflow.AdvanceModRefDiff(newProg, old.Prog, old.modref, diff)
+	sigs := computeBuildSigsFromHashes(newProg, mr, newHashes, 1)
 	b := &builder{
 		g: &Graph{
 			Prog:       newProg,
 			ProcByName: map[string]int{},
 			buildSigs:  sigs,
+			procHashes: newHashes,
 			modref:     mr,
 		},
 		mr: mr,
@@ -365,21 +375,54 @@ func seedSummaries(g *Graph, old *Graph, reuse []bool, vmap []VertexID, st *Delt
 // computeBuildSigs derives each procedure's build signature from the
 // normalized program and its mod/ref analysis; see the file comment.
 func computeBuildSigs(prog *lang.Program, mr *dataflow.ModRef) map[string]uint64 {
-	ifaces := make(map[string]uint64, len(prog.Funcs))
-	for _, fn := range prog.Funcs {
-		ifaces[fn.Name] = ifaceHash(fn, mr)
+	sigs, _ := computeBuildSigsWorkers(prog, mr, 1)
+	return sigs
+}
+
+// computeBuildSigsWorkers is computeBuildSigs over a worker pool: the
+// per-procedure hashes (dominated by printing each body) are independent.
+// It also returns the raw per-procedure content hashes so the graph can
+// retain them for later diffing.
+func computeBuildSigsWorkers(prog *lang.Program, mr *dataflow.ModRef, workers int) (sigs, hashes map[string]uint64) {
+	hashSlots := make([]uint64, len(prog.Funcs))
+	par.For(workers, len(prog.Funcs), func(i int) {
+		hashSlots[i] = lang.ProcHash(prog.Funcs[i])
+	})
+	hashes = make(map[string]uint64, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		hashes[fn.Name] = hashSlots[i]
 	}
-	sigs := make(map[string]uint64, len(prog.Funcs))
-	for _, fn := range prog.Funcs {
+	return computeBuildSigsFromHashes(prog, mr, hashes, workers), hashes
+}
+
+// computeBuildSigsFromHashes derives the build signatures from
+// already-computed per-procedure content hashes — the advance path holds
+// the new version's hashes from its diff and must not print again.
+func computeBuildSigsFromHashes(prog *lang.Program, mr *dataflow.ModRef, hashes map[string]uint64, workers int) map[string]uint64 {
+	ifaces := make(map[string]uint64, len(prog.Funcs))
+	ifaceSlots := make([]uint64, len(prog.Funcs))
+	par.For(workers, len(prog.Funcs), func(i int) {
+		ifaceSlots[i] = ifaceHash(prog.Funcs[i], mr)
+	})
+	for i, fn := range prog.Funcs {
+		ifaces[fn.Name] = ifaceSlots[i]
+	}
+	sigSlots := make([]uint64, len(prog.Funcs))
+	par.For(workers, len(prog.Funcs), func(i int) {
+		fn := prog.Funcs[i]
 		h := fnv.New64a()
-		writeU64(h, lang.ProcHash(fn))
+		writeU64(h, hashes[fn.Name])
 		writeU64(h, ifaces[fn.Name])
 		for _, callee := range directCallees(fn) {
 			h.Write([]byte(callee))
 			h.Write([]byte{0})
 			writeU64(h, ifaces[callee])
 		}
-		sigs[fn.Name] = h.Sum64()
+		sigSlots[i] = h.Sum64()
+	})
+	sigs := make(map[string]uint64, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		sigs[fn.Name] = sigSlots[i]
 	}
 	return sigs
 }

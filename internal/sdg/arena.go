@@ -1,0 +1,143 @@
+package sdg
+
+import (
+	"specslice/internal/lang"
+)
+
+// Arena owns the backing storage of one bulk-constructed graph: vertex,
+// procedure, and site slabs, the ID arenas their per-element lists are
+// carved from, and the packed edge adjacency. The core readout builds each
+// specialized graph R out of one arena — a handful of slab allocations on
+// first use, zero once the arena comes back from the pool — and
+// Result.Release returns it, so a warm slicing service reuses the same
+// storage request after request (the same discipline the fsa pipeline and
+// pds Prestar engine apply to their scratch).
+//
+// The contract is the usual one for pooled storage: after Release, the
+// graph and every slice carved from the arena are dead; using them
+// observes arbitrary later reuse.
+type Arena struct {
+	g     Graph
+	verts []Vertex
+	procs []Proc
+	sites []Site
+	vptrs []*Vertex
+	pptrs []*Proc
+	sptrs []*Site
+	vids  []VertexID
+	sids  []SiteID
+	adj   [][]Edge
+	eback []Edge
+
+	procByName map[string]int
+}
+
+// NewArena returns an empty arena. Callers (the core result pool) own its
+// lifecycle; Prepare resets it for reuse.
+func NewArena() *Arena { return &Arena{} }
+
+// Prepare resets the arena for a graph with exactly the given element
+// counts — nVIDs and nSIDs bound the total VertexID/SiteID slots the
+// caller will carve — and returns the embedded graph, empty. Capacities
+// persist across reuse; only a growing workload allocates.
+func (a *Arena) Prepare(prog *lang.Program, nVerts, nProcs, nSites, nVIDs, nSIDs int) *Graph {
+	if cap(a.verts) < nVerts {
+		a.verts = make([]Vertex, 0, nVerts)
+		a.vptrs = make([]*Vertex, 0, nVerts)
+	}
+	if cap(a.procs) < nProcs {
+		a.procs = make([]Proc, 0, nProcs)
+		a.pptrs = make([]*Proc, 0, nProcs)
+	}
+	if cap(a.sites) < nSites {
+		a.sites = make([]Site, 0, nSites)
+		a.sptrs = make([]*Site, 0, nSites)
+	}
+	if cap(a.vids) < nVIDs {
+		a.vids = make([]VertexID, 0, nVIDs)
+	}
+	if cap(a.sids) < nSIDs {
+		a.sids = make([]SiteID, 0, nSIDs)
+	}
+	a.verts, a.vptrs = a.verts[:0], a.vptrs[:0]
+	a.procs, a.pptrs = a.procs[:0], a.pptrs[:0]
+	a.sites, a.sptrs = a.sites[:0], a.sptrs[:0]
+	a.vids, a.sids = a.vids[:0], a.sids[:0]
+	if a.procByName == nil {
+		a.procByName = make(map[string]int, nProcs)
+	} else {
+		clear(a.procByName)
+	}
+	a.g = Graph{Prog: prog, ProcByName: a.procByName}
+	return &a.g
+}
+
+// AddVertex appends a vertex to the slab (assigning its ID) and registers
+// it with the graph. Unlike Graph.AddVertex it does not touch the owning
+// procedure's Vertices list — bulk builders carve those themselves.
+func (a *Arena) AddVertex(v Vertex) (VertexID, *Vertex) {
+	if len(a.verts) == cap(a.verts) {
+		panic("sdg: arena vertex slab overflow (Prepare undercounted)")
+	}
+	id := VertexID(len(a.verts))
+	v.ID = id
+	a.verts = append(a.verts, v)
+	p := &a.verts[id]
+	a.vptrs = append(a.vptrs, p)
+	a.g.Vertices = a.vptrs
+	return id, p
+}
+
+// AddProc appends a procedure (assigning its Index) and registers it.
+func (a *Arena) AddProc(p Proc) *Proc {
+	if len(a.procs) == cap(a.procs) {
+		panic("sdg: arena proc slab overflow (Prepare undercounted)")
+	}
+	p.Index = len(a.procs)
+	a.procs = append(a.procs, p)
+	pp := &a.procs[p.Index]
+	a.pptrs = append(a.pptrs, pp)
+	a.g.Procs = a.pptrs
+	a.procByName[p.Name] = p.Index
+	return pp
+}
+
+// AddSite appends a call site (assigning its ID) and registers it.
+func (a *Arena) AddSite(s Site) *Site {
+	if len(a.sites) == cap(a.sites) {
+		panic("sdg: arena site slab overflow (Prepare undercounted)")
+	}
+	s.ID = SiteID(len(a.sites))
+	a.sites = append(a.sites, s)
+	sp := &a.sites[s.ID]
+	a.sptrs = append(a.sptrs, sp)
+	a.g.Sites = a.sptrs
+	return sp
+}
+
+// VIDs carves an empty VertexID list with capacity n from the ID arena.
+func (a *Arena) VIDs(n int) []VertexID {
+	off := len(a.vids)
+	if off+n > cap(a.vids) {
+		panic("sdg: arena VertexID overflow (Prepare undercounted)")
+	}
+	a.vids = a.vids[:off+n]
+	return a.vids[off : off : off+n]
+}
+
+// SIDs carves an empty SiteID list with capacity n from the ID arena.
+func (a *Arena) SIDs(n int) []SiteID {
+	off := len(a.sids)
+	if off+n > cap(a.sids) {
+		panic("sdg: arena SiteID overflow (Prepare undercounted)")
+	}
+	a.sids = a.sids[:off+n]
+	return a.sids[off : off : off+n]
+}
+
+// InstallEdges installs the (duplicate-free) edge list into the graph
+// through the arena's recycled adjacency backings, keeping any regrown
+// backing for the next reuse.
+func (a *Arena) InstallEdges(edges []Edge) {
+	a.adj, a.eback = a.g.InstallEdges(edges, a.adj, a.eback)
+}

@@ -2,19 +2,34 @@ package sdg
 
 import (
 	"fmt"
+	"time"
 
 	"specslice/internal/cfg"
 	"specslice/internal/dataflow"
 	"specslice/internal/lang"
+	"specslice/internal/par"
 )
 
 // RetVar is the pseudo-variable carrying a procedure's return value between
 // return statements and the return-value formal-out vertex.
 const RetVar = "$ret"
 
-// Build constructs the SDG of prog. The program must contain only direct
-// calls; run funcptr.Transform first to eliminate indirect calls.
-func Build(prog *lang.Program) (*Graph, error) {
+// Build constructs the SDG of prog with a GOMAXPROCS-sized worker pool.
+// The program must contain only direct calls; run funcptr.Transform first
+// to eliminate indirect calls.
+func Build(prog *lang.Program) (*Graph, error) { return BuildWorkers(prog, 0) }
+
+// BuildWorkers constructs the SDG of prog, sharding the procedure-local
+// work — mod/ref summary components, build signatures, and the
+// per-procedure dependence-graph bodies (CFG, control dependence, reaching
+// definitions) — across a worker pool of the given size (<= 0 means
+// GOMAXPROCS, mirroring engine.BatchOptions.Workers). Bodies are built
+// into per-procedure buffers and merged in procedure order, so the
+// resulting graph — vertex and site numbering included — is byte-identical
+// for every worker count; the sequential-vs-parallel identity test and the
+// incremental oracle (which crosses this path against Advance's direct
+// one) hold it there.
+func BuildWorkers(prog *lang.Program, workers int) (*Graph, error) {
 	for _, fn := range prog.Funcs {
 		for _, s := range fn.Stmts() {
 			if c, ok := s.(*lang.CallStmt); ok && c.Indirect {
@@ -22,16 +37,21 @@ func Build(prog *lang.Program) (*Graph, error) {
 			}
 		}
 	}
-	mr := dataflow.ComputeModRef(prog)
+	workers = par.Workers(workers)
+	t0 := time.Now()
+	mr := dataflow.ComputeModRefWorkers(prog, workers)
+	sigs, hashes := computeBuildSigsWorkers(prog, mr, workers)
 	b := &builder{
 		g: &Graph{
 			Prog:       prog,
 			ProcByName: map[string]int{},
-			buildSigs:  computeBuildSigs(prog, mr),
+			buildSigs:  sigs,
+			procHashes: hashes,
 			modref:     mr,
 		},
 		mr: mr,
 	}
+	tModRef := time.Now()
 	for i, fn := range prog.Funcs {
 		p := &Proc{Index: i, Name: fn.Name, Fn: fn}
 		b.g.Procs = append(b.g.Procs, p)
@@ -40,12 +60,33 @@ func Build(prog *lang.Program) (*Graph, error) {
 	for _, p := range b.g.Procs {
 		b.buildProcSkeleton(p)
 	}
-	for _, p := range b.g.Procs {
-		if err := b.buildProcBody(p); err != nil {
+
+	// Bodies: each procedure's CFG, control dependence, and reaching
+	// definitions run independently into a buffer; the deterministic merge
+	// below replays them in procedure order, reproducing the exact vertex,
+	// site, and edge insertion order of a fully sequential build.
+	skelBase := VertexID(len(b.g.Vertices))
+	bufs := make([]bodyBuf, len(b.g.Procs))
+	par.For(workers, len(b.g.Procs), func(i int) {
+		bufs[i].skelBase = skelBase
+		bufs[i].err = b.buildBody(b.g.Procs[i], &bufs[i])
+	})
+	for i, p := range b.g.Procs {
+		if err := bufs[i].err; err != nil {
 			return nil, err
 		}
+		b.mergeBody(p, &bufs[i])
 	}
+	tPDG := time.Now()
 	b.connectProcs()
+	tConnect := time.Now()
+	b.g.buildStats = BuildStats{
+		Workers: workers,
+		ModRef:  tModRef.Sub(t0),
+		PDG:     tPDG.Sub(tModRef),
+		Connect: tConnect.Sub(tPDG),
+		Total:   tConnect.Sub(t0),
+	}
 	return b.g, nil
 }
 
@@ -59,9 +100,122 @@ func MustBuild(prog *lang.Program) *Graph {
 	return g
 }
 
+// MustBuildWorkers is BuildWorkers, panicking on error.
+func MustBuildWorkers(prog *lang.Program, workers int) *Graph {
+	g, err := BuildWorkers(prog, workers)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 type builder struct {
 	g  *Graph
 	mr *dataflow.ModRef
+}
+
+// bodyEmitter receives one procedure body's vertices, call sites, and
+// edges in creation order. The direct implementation writes straight into
+// the graph (the Advance rebuild path); bodyBuf records locally for the
+// parallel build's deterministic merge.
+type bodyEmitter interface {
+	addVertex(v Vertex) VertexID
+	// addSite appends a call site with CallerProc/Callee/Lib/Stmt set and
+	// assigns its ID (global or buffer-local); the caller fills CallVertex
+	// and the actual lists through the returned pointer.
+	addSite(s Site) *Site
+	addEdge(from, to VertexID, kind EdgeKind)
+}
+
+// directEmit writes body elements straight into the graph, in creation
+// order — the classic sequential construction.
+type directEmit struct {
+	b *builder
+	p *Proc
+}
+
+func (d directEmit) addVertex(v Vertex) VertexID {
+	cp := v
+	return d.b.g.AddVertex(&cp)
+}
+
+func (d directEmit) addSite(s Site) *Site {
+	cp := s
+	cp.ID = SiteID(len(d.b.g.Sites))
+	d.b.g.Sites = append(d.b.g.Sites, &cp)
+	d.p.Sites = append(d.p.Sites, cp.ID)
+	return &cp
+}
+
+func (d directEmit) addEdge(from, to VertexID, kind EdgeKind) {
+	d.b.g.AddEdge(from, to, kind)
+}
+
+// bodyBuf collects one procedure body locally. Vertex references at or
+// above skelBase denote the buffer's own vertices (skelBase + local
+// index); references below it are global skeleton vertices, which are
+// already numbered. Site IDs and vertex Site fields are buffer-local.
+type bodyBuf struct {
+	skelBase VertexID
+	verts    []Vertex
+	sites    []*Site
+	edges    []Edge
+	err      error
+}
+
+func (bb *bodyBuf) addVertex(v Vertex) VertexID {
+	bb.verts = append(bb.verts, v)
+	return bb.skelBase + VertexID(len(bb.verts)-1)
+}
+
+func (bb *bodyBuf) addSite(s Site) *Site {
+	s.ID = SiteID(len(bb.sites))
+	sp := &s
+	bb.sites = append(bb.sites, sp)
+	return sp
+}
+
+func (bb *bodyBuf) addEdge(from, to VertexID, kind EdgeKind) {
+	bb.edges = append(bb.edges, Edge{From: from, To: to, Kind: kind})
+}
+
+// mergeBody replays a buffered body into the graph: sites first (their
+// global IDs are contiguous per procedure), then vertices (renumbered from
+// the buffer-local range), then edges in recorded order through the
+// deduplicating AddEdge — exactly the sequence the direct emitter produces.
+func (b *builder) mergeBody(p *Proc, buf *bodyBuf) {
+	siteBase := SiteID(len(b.g.Sites))
+	vertBase := VertexID(len(b.g.Vertices))
+	dec := func(ref VertexID) VertexID {
+		if ref >= buf.skelBase {
+			return vertBase + (ref - buf.skelBase)
+		}
+		return ref
+	}
+	for _, site := range buf.sites {
+		site.ID += siteBase
+		b.g.Sites = append(b.g.Sites, site)
+		p.Sites = append(p.Sites, site.ID)
+	}
+	for i := range buf.verts {
+		v := &buf.verts[i]
+		if v.Site >= 0 {
+			v.Site += siteBase
+		}
+		b.g.AddVertex(v)
+	}
+	for _, site := range buf.sites {
+		site.CallVertex = dec(site.CallVertex)
+		for i := range site.ActualIns {
+			site.ActualIns[i] = dec(site.ActualIns[i])
+		}
+		for i := range site.ActualOuts {
+			site.ActualOuts[i] = dec(site.ActualOuts[i])
+		}
+	}
+	for _, e := range buf.edges {
+		b.g.AddEdge(dec(e.From), dec(e.To), e.Kind)
+	}
 }
 
 // buildProcSkeleton creates the entry and formal vertices of p.
@@ -105,6 +259,7 @@ func (b *builder) buildProcSkeleton(p *Proc) {
 	for _, v := range p.FormalOuts {
 		b.g.AddEdge(p.Entry, v, EdgeControl)
 	}
+	p.IndexFormals(b.g)
 }
 
 // defEvent / useEvent attribute a variable definition or use to a vertex.
@@ -126,7 +281,13 @@ type nodeInfo struct {
 	uses   []useEvent
 }
 
+// buildProcBody builds p's body directly into the graph — the Advance
+// rebuild path, which runs procedures strictly in order.
 func (b *builder) buildProcBody(p *Proc) error {
+	return b.buildBody(p, directEmit{b: b, p: p})
+}
+
+func (b *builder) buildBody(p *Proc, em bodyEmitter) error {
 	fn := p.Fn
 	graph := cfg.Build(fn)
 	info := make([]nodeInfo, len(graph.Nodes))
@@ -157,29 +318,29 @@ func (b *builder) buildProcBody(p *Proc) error {
 			if x.Init == nil {
 				continue // pure declaration: no vertex
 			}
-			v := b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: x.Name + " = " + lang.ExprString(x.Init)})
+			v := em.addVertex(Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: x.Name + " = " + lang.ExprString(x.Init)})
 			ni.vertex = v
 			ni.defs = append(ni.defs, defEvent{vertex: v, vr: x.Name, kills: true})
 			b.addExprUses(ni, v, x.Init)
 
 		case *lang.AssignStmt:
-			v := b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: x.LHS + " = " + lang.ExprString(x.RHS)})
+			v := em.addVertex(Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: x.LHS + " = " + lang.ExprString(x.RHS)})
 			ni.vertex = v
 			ni.defs = append(ni.defs, defEvent{vertex: v, vr: x.LHS, kills: true})
 			b.addExprUses(ni, v, x.RHS)
 
 		case *lang.IfStmt:
-			v := b.g.AddVertex(&Vertex{Kind: KindPredicate, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "if " + lang.ExprString(x.Cond)})
+			v := em.addVertex(Vertex{Kind: KindPredicate, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "if " + lang.ExprString(x.Cond)})
 			ni.vertex = v
 			b.addExprUses(ni, v, x.Cond)
 
 		case *lang.WhileStmt:
-			v := b.g.AddVertex(&Vertex{Kind: KindPredicate, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "while " + lang.ExprString(x.Cond)})
+			v := em.addVertex(Vertex{Kind: KindPredicate, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "while " + lang.ExprString(x.Cond)})
 			ni.vertex = v
 			b.addExprUses(ni, v, x.Cond)
 
 		case *lang.ReturnStmt:
-			v := b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "return " + lang.ExprString(x.Value)})
+			v := em.addVertex(Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "return " + lang.ExprString(x.Value)})
 			ni.vertex = v
 			if x.Value != nil && fn.ReturnsValue {
 				ni.defs = append(ni.defs, defEvent{vertex: v, vr: RetVar, kills: true})
@@ -187,47 +348,43 @@ func (b *builder) buildProcBody(p *Proc) error {
 			}
 
 		case *lang.BreakStmt:
-			ni.vertex = b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "break"})
+			ni.vertex = em.addVertex(Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "break"})
 		case *lang.ContinueStmt:
-			ni.vertex = b.g.AddVertex(&Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "continue"})
+			ni.vertex = em.addVertex(Vertex{Kind: KindStmt, Proc: p.Index, Stmt: x, Site: -1, Param: NoParam, Label: "continue"})
 
 		case *lang.CallStmt:
-			b.buildCallSite(p, ni, x)
+			b.buildCallSite(p, ni, x, em)
 
 		case *lang.PrintfStmt:
-			site := &Site{ID: SiteID(len(b.g.Sites)), CallerProc: p.Index, Callee: "printf", Lib: true, Stmt: x}
-			b.g.Sites = append(b.g.Sites, site)
-			p.Sites = append(p.Sites, site.ID)
-			cv := b.g.AddVertex(&Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call printf"})
+			site := em.addSite(Site{CallerProc: p.Index, Callee: "printf", Lib: true, Stmt: x})
+			cv := em.addVertex(Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call printf"})
 			site.CallVertex = cv
 			ni.vertex = cv
 			for i, a := range x.Args {
-				ai := b.g.AddVertex(&Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: i, Label: lang.ExprString(a)})
+				ai := em.addVertex(Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: i, Label: lang.ExprString(a)})
 				site.ActualIns = append(site.ActualIns, ai)
-				b.g.AddEdge(cv, ai, EdgeControl)
+				em.addEdge(cv, ai, EdgeControl)
 				for _, vr := range lang.ExprVars(a) {
 					ni.uses = append(ni.uses, useEvent{vertex: ai, vr: vr})
 				}
 				// §6.1: library signatures must not change; make the call
 				// depend on each of its actuals.
-				b.g.AddEdge(ai, cv, EdgeFlow)
+				em.addEdge(ai, cv, EdgeFlow)
 			}
 
 		case *lang.ScanfStmt:
-			site := &Site{ID: SiteID(len(b.g.Sites)), CallerProc: p.Index, Callee: "scanf", Lib: true, Stmt: x}
-			b.g.Sites = append(b.g.Sites, site)
-			p.Sites = append(p.Sites, site.ID)
-			cv := b.g.AddVertex(&Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call scanf"})
+			site := em.addSite(Site{CallerProc: p.Index, Callee: "scanf", Lib: true, Stmt: x})
+			cv := em.addVertex(Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call scanf"})
 			site.CallVertex = cv
 			ni.vertex = cv
-			ao := b.g.AddVertex(&Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: x.Var, Label: "&" + x.Var})
+			ao := em.addVertex(Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: x.Var, Label: "&" + x.Var})
 			site.ActualOuts = append(site.ActualOuts, ao)
-			b.g.AddEdge(cv, ao, EdgeControl)
-			b.g.AddEdge(cv, ao, EdgeFlow) // the read value comes from the call
+			em.addEdge(cv, ao, EdgeControl)
+			em.addEdge(cv, ao, EdgeFlow) // the read value comes from the call
 			ni.defs = append(ni.defs, defEvent{vertex: ao, vr: x.Var, kills: true})
 			// §6.1 edge: the actual-out is the &var argument; slicing back
 			// from the call keeps its argument list intact.
-			b.g.AddEdge(ao, cv, EdgeFlow)
+			em.addEdge(ao, cv, EdgeFlow)
 
 		default:
 			return fmt.Errorf("sdg: unhandled statement %T", x)
@@ -246,12 +403,12 @@ func (b *builder) buildProcBody(p *Proc) error {
 			if src < 0 {
 				continue
 			}
-			b.g.AddEdge(src, dep, EdgeControl)
+			em.addEdge(src, dep, EdgeControl)
 		}
 	}
 
 	// Flow dependence via reaching definitions over executable edges.
-	b.flowEdges(graph, info)
+	b.flowEdges(graph, info, em)
 	return nil
 }
 
@@ -264,50 +421,48 @@ func (b *builder) addExprUses(ni *nodeInfo, v VertexID, e lang.Expr) {
 	}
 }
 
-func (b *builder) buildCallSite(p *Proc, ni *nodeInfo, x *lang.CallStmt) {
+func (b *builder) buildCallSite(p *Proc, ni *nodeInfo, x *lang.CallStmt, em bodyEmitter) {
 	calleeIdx := b.g.ProcByName[x.Callee]
 	calleeFn := b.g.Procs[calleeIdx].Fn
-	site := &Site{ID: SiteID(len(b.g.Sites)), CallerProc: p.Index, Callee: x.Callee, Stmt: x}
-	b.g.Sites = append(b.g.Sites, site)
-	p.Sites = append(p.Sites, site.ID)
+	site := em.addSite(Site{CallerProc: p.Index, Callee: x.Callee, Stmt: x})
 
-	cv := b.g.AddVertex(&Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call " + x.Callee})
+	cv := em.addVertex(Vertex{Kind: KindCall, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Label: "call " + x.Callee})
 	site.CallVertex = cv
 	ni.vertex = cv
 
 	for i, a := range x.Args {
-		ai := b.g.AddVertex(&Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: i, Label: lang.ExprString(a)})
+		ai := em.addVertex(Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: i, Label: lang.ExprString(a)})
 		site.ActualIns = append(site.ActualIns, ai)
-		b.g.AddEdge(cv, ai, EdgeControl)
+		em.addEdge(cv, ai, EdgeControl)
 		for _, vr := range lang.ExprVars(a) {
 			ni.uses = append(ni.uses, useEvent{vertex: ai, vr: vr})
 		}
 	}
 	for _, gname := range b.mr.FormalInGlobals(x.Callee).Sorted() {
-		ai := b.g.AddVertex(&Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " in"})
+		ai := em.addVertex(Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " in"})
 		site.ActualIns = append(site.ActualIns, ai)
-		b.g.AddEdge(cv, ai, EdgeControl)
+		em.addEdge(cv, ai, EdgeControl)
 		ni.uses = append(ni.uses, useEvent{vertex: ai, vr: gname})
 	}
 
 	if x.Target != "" && calleeFn.ReturnsValue {
-		ao := b.g.AddVertex(&Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: x.Target, IsReturn: true, Label: x.Target + " = ret"})
+		ao := em.addVertex(Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: x.Target, IsReturn: true, Label: x.Target + " = ret"})
 		site.ActualOuts = append(site.ActualOuts, ao)
-		b.g.AddEdge(cv, ao, EdgeControl)
+		em.addEdge(cv, ao, EdgeControl)
 		ni.defs = append(ni.defs, defEvent{vertex: ao, vr: x.Target, kills: true})
 	}
 	mustMod := b.mr.MustMod[x.Callee]
 	for _, gname := range b.mr.GMOD[x.Callee].Sorted() {
-		ao := b.g.AddVertex(&Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " out"})
+		ao := em.addVertex(Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " out"})
 		site.ActualOuts = append(site.ActualOuts, ao)
-		b.g.AddEdge(cv, ao, EdgeControl)
+		em.addEdge(cv, ao, EdgeControl)
 		ni.defs = append(ni.defs, defEvent{vertex: ao, vr: gname, kills: mustMod[gname]})
 	}
 }
 
 // flowEdges solves reaching definitions over the executable CFG and adds
 // flow-dependence edges from reaching defs to uses.
-func (b *builder) flowEdges(graph *cfg.Graph, info []nodeInfo) {
+func (b *builder) flowEdges(graph *cfg.Graph, info []nodeInfo, em bodyEmitter) {
 	// Index all definitions.
 	type def struct {
 		vertex VertexID
@@ -402,14 +557,15 @@ func (b *builder) flowEdges(graph *cfg.Graph, info []nodeInfo) {
 		for _, u := range info[id].uses {
 			for _, di := range defsOfVar[u.vr] {
 				if getBit(inSets[id], di) {
-					b.g.AddEdge(defs[di].vertex, u.vertex, EdgeFlow)
+					em.addEdge(defs[di].vertex, u.vertex, EdgeFlow)
 				}
 			}
 		}
 	}
 }
 
-// connectProcs adds call, parameter-in, and parameter-out edges.
+// connectProcs adds call, parameter-in, and parameter-out edges, matching
+// actuals to formals through the procedures' precomputed formal indexes.
 func (b *builder) connectProcs() {
 	for _, site := range b.g.Sites {
 		if site.Lib {
@@ -419,29 +575,14 @@ func (b *builder) connectProcs() {
 		b.g.AddEdge(site.CallVertex, callee.Entry, EdgeCall)
 		// Parameter-in: positional by Param index, globals by Var.
 		for _, aiID := range site.ActualIns {
-			ai := b.g.Vertices[aiID]
-			for _, fiID := range callee.FormalIns {
-				fi := b.g.Vertices[fiID]
-				if matchFormal(ai, fi) {
-					b.g.AddEdge(aiID, fiID, EdgeParamIn)
-				}
+			if fiID, ok := callee.MatchFormalIn(b.g, b.g.Vertices[aiID]); ok {
+				b.g.AddEdge(aiID, fiID, EdgeParamIn)
 			}
 		}
 		for _, aoID := range site.ActualOuts {
-			ao := b.g.Vertices[aoID]
-			for _, foID := range callee.FormalOuts {
-				fo := b.g.Vertices[foID]
-				if (ao.IsReturn && fo.IsReturn) || (!ao.IsReturn && !fo.IsReturn && ao.Var == fo.Var) {
-					b.g.AddEdge(foID, aoID, EdgeParamOut)
-				}
+			if foID, ok := callee.MatchFormalOut(b.g, b.g.Vertices[aoID]); ok {
+				b.g.AddEdge(foID, aoID, EdgeParamOut)
 			}
 		}
 	}
-}
-
-func matchFormal(ai, fi *Vertex) bool {
-	if ai.Param != NoParam {
-		return fi.Param == ai.Param
-	}
-	return fi.Param == NoParam && ai.Var == fi.Var
 }

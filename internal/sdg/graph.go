@@ -10,6 +10,7 @@ package sdg
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"specslice/internal/dataflow"
 	"specslice/internal/lang"
@@ -93,13 +94,151 @@ type Proc struct {
 	FormalOuts []VertexID // return value first (if any), then globals sorted by name
 	Vertices   []VertexID
 	Sites      []SiteID
+
+	// formals is the O(1) formal-parameter lookup index, precomputed by
+	// IndexFormals at build time. Graphs produced by bulk construction
+	// (the core readout's specialized graphs) leave it nil and the lookup
+	// methods fall back to binary search over the formal ordering
+	// invariant — positional parameters first in ascending Param order,
+	// then globals sorted by Var (and for formal-outs, the return value
+	// first) — which Build establishes and every variant preserves.
+	formals *formalIndex
+}
+
+// formalIndex caches formal-vertex lookups for one procedure.
+type formalIndex struct {
+	inByParam []VertexID // positional param -> formal-in + 1 (0 = none)
+	inByVar   map[string]VertexID
+	ret       VertexID // return formal-out, or -1
+	outByVar  map[string]VertexID
+}
+
+// IndexFormals precomputes p's formal lookup index from its FormalIns and
+// FormalOuts. Build calls it once per procedure after the skeleton phase;
+// it must be re-run if the formal lists change.
+func (p *Proc) IndexFormals(g *Graph) {
+	idx := &formalIndex{ret: -1}
+	for _, fiID := range p.FormalIns {
+		fi := g.Vertices[fiID]
+		if fi.Param != NoParam {
+			for len(idx.inByParam) <= fi.Param {
+				idx.inByParam = append(idx.inByParam, 0)
+			}
+			idx.inByParam[fi.Param] = fiID + 1
+		} else {
+			if idx.inByVar == nil {
+				idx.inByVar = make(map[string]VertexID)
+			}
+			idx.inByVar[fi.Var] = fiID + 1
+		}
+	}
+	for _, foID := range p.FormalOuts {
+		fo := g.Vertices[foID]
+		if fo.IsReturn {
+			idx.ret = foID
+		} else {
+			if idx.outByVar == nil {
+				idx.outByVar = make(map[string]VertexID)
+			}
+			idx.outByVar[fo.Var] = foID + 1
+		}
+	}
+	p.formals = idx
 }
 
 // FormalInFor returns the formal-in vertex for positional parameter i.
 func (p *Proc) FormalInFor(g *Graph, i int) (VertexID, bool) {
-	for _, v := range p.FormalIns {
-		if g.Vertices[v].Param == i {
-			return v, true
+	if idx := p.formals; idx != nil {
+		if i >= 0 && i < len(idx.inByParam) && idx.inByParam[i] != 0 {
+			return idx.inByParam[i] - 1, true
+		}
+		return 0, false
+	}
+	// Binary search over the positional prefix (ascending Param).
+	lo, hi := 0, len(p.FormalIns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		fi := g.Vertices[p.FormalIns[mid]]
+		if fi.Param == NoParam || fi.Param > i {
+			hi = mid
+		} else if fi.Param < i {
+			lo = mid + 1
+		} else {
+			return p.FormalIns[mid], true
+		}
+	}
+	return 0, false
+}
+
+// formalInGlobal returns the formal-in vertex for global name.
+func (p *Proc) formalInGlobal(g *Graph, name string) (VertexID, bool) {
+	if idx := p.formals; idx != nil {
+		if v, ok := idx.inByVar[name]; ok {
+			return v - 1, true
+		}
+		return 0, false
+	}
+	// Binary search over the globals suffix (Param == NoParam, sorted by
+	// Var); positional formals order before every global.
+	lo, hi := 0, len(p.FormalIns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		fi := g.Vertices[p.FormalIns[mid]]
+		if fi.Param != NoParam || fi.Var < name {
+			lo = mid + 1
+		} else if fi.Var > name {
+			hi = mid
+		} else {
+			return p.FormalIns[mid], true
+		}
+	}
+	return 0, false
+}
+
+// MatchFormalIn returns p's formal-in vertex matching actual-in a:
+// positional actuals match on Param, global actuals on Var. It replaces
+// the former linear scan over FormalIns (quadratic on wide parameter
+// lists); the scan survives as the differential reference in
+// internal/core/reference_test.go.
+func (p *Proc) MatchFormalIn(g *Graph, a *Vertex) (VertexID, bool) {
+	if a.Param != NoParam {
+		return p.FormalInFor(g, a.Param)
+	}
+	return p.formalInGlobal(g, a.Var)
+}
+
+// MatchFormalOut returns p's formal-out vertex matching actual-out a: the
+// return formal-out for return actuals, otherwise the matching global.
+func (p *Proc) MatchFormalOut(g *Graph, a *Vertex) (VertexID, bool) {
+	if idx := p.formals; idx != nil {
+		if a.IsReturn {
+			if idx.ret >= 0 {
+				return idx.ret, true
+			}
+			return 0, false
+		}
+		if v, ok := idx.outByVar[a.Var]; ok {
+			return v - 1, true
+		}
+		return 0, false
+	}
+	if a.IsReturn {
+		if len(p.FormalOuts) > 0 && g.Vertices[p.FormalOuts[0]].IsReturn {
+			return p.FormalOuts[0], true
+		}
+		return 0, false
+	}
+	// Binary search over the globals suffix (return value, if any, first).
+	lo, hi := 0, len(p.FormalOuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		fo := g.Vertices[p.FormalOuts[mid]]
+		if fo.IsReturn || fo.Var < a.Var {
+			lo = mid + 1
+		} else if fo.Var > a.Var {
+			hi = mid
+		} else {
+			return p.FormalOuts[mid], true
 		}
 	}
 	return 0, false
@@ -115,6 +254,58 @@ type Site struct {
 	ActualIns  []VertexID // positional args in order, then globals sorted by name
 	ActualOuts []VertexID // return value first (if present), then globals sorted by name
 	Stmt       lang.Stmt
+}
+
+// ActualInFor returns the site's actual-in matching formal-in f, by binary
+// search over the actual ordering invariant (positional args ascending,
+// then globals sorted by Var — the mirror of the formal lists).
+func (s *Site) ActualInFor(g *Graph, f *Vertex) (VertexID, bool) {
+	lo, hi := 0, len(s.ActualIns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ai := g.Vertices[s.ActualIns[mid]]
+		var less bool
+		switch {
+		case f.Param != NoParam:
+			less = ai.Param != NoParam && ai.Param < f.Param
+		default:
+			less = ai.Param != NoParam || ai.Var < f.Var
+		}
+		if less {
+			lo = mid + 1
+			continue
+		}
+		if (f.Param != NoParam && ai.Param == f.Param) ||
+			(f.Param == NoParam && ai.Param == NoParam && ai.Var == f.Var) {
+			return s.ActualIns[mid], true
+		}
+		hi = mid
+	}
+	return 0, false
+}
+
+// ActualOutFor returns the site's actual-out matching formal-out f (the
+// return actual for the return formal-out, otherwise the matching global).
+func (s *Site) ActualOutFor(g *Graph, f *Vertex) (VertexID, bool) {
+	if f.IsReturn {
+		if len(s.ActualOuts) > 0 && g.Vertices[s.ActualOuts[0]].IsReturn {
+			return s.ActualOuts[0], true
+		}
+		return 0, false
+	}
+	lo, hi := 0, len(s.ActualOuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ao := g.Vertices[s.ActualOuts[mid]]
+		if ao.IsReturn || ao.Var < f.Var {
+			lo = mid + 1
+		} else if ao.Var > f.Var {
+			hi = mid
+		} else {
+			return s.ActualOuts[mid], true
+		}
+	}
+	return 0, false
 }
 
 // Graph is a system dependence graph.
@@ -137,6 +328,10 @@ type Graph struct {
 	// its own and its callees' mod/ref interfaces). Advance reuses a
 	// procedure's PDG exactly when its signature is unchanged.
 	buildSigs map[string]uint64
+	// procHashes retains each procedure's raw content hash
+	// (lang.ProcHash), so advancing from this graph diffs the versions
+	// without printing the old program again.
+	procHashes map[string]uint64
 	// modref caches the program's interprocedural mod/ref analysis, so
 	// Advance can reuse the summaries of procedures whose call subtree an
 	// edit did not touch instead of re-running the fixpoints program-wide.
@@ -144,6 +339,9 @@ type Graph struct {
 	// summariesDone records that the summary-edge fixpoint has been reached,
 	// so recomputation can be skipped (see slice.ComputeSummaryEdges).
 	summariesDone bool
+	// buildStats records the phase timings of the Build that produced the
+	// graph (zero when not built by Build).
+	buildStats BuildStats
 }
 
 // SummariesComputed reports whether MarkSummariesComputed has been called.
@@ -176,13 +374,27 @@ func edgeKey(from, to VertexID, kind EdgeKind) uint64 {
 	return uint64(from)<<34 | uint64(to)<<4 | uint64(kind)
 }
 
+// ensureEdgeIndex builds the packed dedup index from the adjacency lists.
+// Graphs assembled by InstallEdges skip the index (their edge list is
+// dedup-free by construction), so the first mutation or membership query
+// afterwards pays one linear pass here.
+func (g *Graph) ensureEdgeIndex() {
+	if g.edgeSet != nil {
+		return
+	}
+	g.edgeSet = make(map[uint64]struct{}, 2*g.NumEdges())
+	for _, es := range g.out {
+		for _, e := range es {
+			g.edgeSet[edgeKey(e.From, e.To, e.Kind)] = struct{}{}
+		}
+	}
+}
+
 // AddEdge inserts the edge if not already present, reporting whether it
 // was new. Dedup is O(1) through the packed edge index.
 func (g *Graph) AddEdge(from, to VertexID, kind EdgeKind) bool {
+	g.ensureEdgeIndex()
 	k := edgeKey(from, to, kind)
-	if g.edgeSet == nil {
-		g.edgeSet = map[uint64]struct{}{}
-	}
 	if _, ok := g.edgeSet[k]; ok {
 		return false
 	}
@@ -193,10 +405,58 @@ func (g *Graph) AddEdge(from, to VertexID, kind EdgeKind) bool {
 	return true
 }
 
-// HasEdge reports whether the exact edge exists, in O(1).
+// HasEdge reports whether the exact edge exists, in O(1) after the index
+// is (lazily) built.
 func (g *Graph) HasEdge(from, to VertexID, kind EdgeKind) bool {
+	g.ensureEdgeIndex()
 	_, ok := g.edgeSet[edgeKey(from, to, kind)]
 	return ok
+}
+
+// InstallEdges replaces the graph's adjacency with the given edge list,
+// which must already be duplicate-free, packing the per-vertex out/in
+// lists into the two provided backings (grown if short, and returned so
+// bulk builders can recycle them): one [][]Edge of length 2·vertices
+// holding both directions' headers and one []Edge of length 2·edges
+// holding both copies. The dedup index is not built; a later AddEdge or
+// HasEdge reconstructs it lazily.
+func (g *Graph) InstallEdges(edges []Edge, adj [][]Edge, backing []Edge) ([][]Edge, []Edge) {
+	n := len(g.Vertices)
+	m := len(edges)
+	if cap(adj) < 2*n {
+		adj = make([][]Edge, 2*n)
+	}
+	adj = adj[:2*n]
+	if cap(backing) < 2*m {
+		backing = make([]Edge, 2*m)
+	}
+	backing = backing[:2*m]
+	g.out, g.in = adj[:n:n], adj[n:]
+	// Counting pass, then prefix offsets into the shared backing: out
+	// lists occupy [0, m), in lists [m, 2m).
+	counts := make([]int32, 2*n)
+	for i := range edges {
+		counts[edges[i].From]++
+		counts[int(edges[i].To)+n]++
+	}
+	off := 0
+	for v := 0; v < n; v++ {
+		c := int(counts[v])
+		g.out[v] = backing[off : off : off+c]
+		off += c
+	}
+	off = m
+	for v := 0; v < n; v++ {
+		c := int(counts[n+v])
+		g.in[v] = backing[off : off : off+c]
+		off += c
+	}
+	for _, e := range edges {
+		g.out[e.From] = append(g.out[e.From], e)
+		g.in[e.To] = append(g.in[e.To], e)
+	}
+	g.edgeSet = nil
+	return adj, backing
 }
 
 // Out returns the outgoing edges of v.
@@ -258,6 +518,25 @@ func SortedGlobals(prog *lang.Program) []string {
 	sort.Strings(out)
 	return out
 }
+
+// BuildStats records where a Build spent its time and how wide its worker
+// pool ran — the cold-path mirror of core.Timings, surfaced through the
+// engine and the serving layer's /v1/stats.
+type BuildStats struct {
+	// Workers is the pool size the procedure-parallel phases actually used.
+	Workers int
+	// ModRef covers the interprocedural mod/ref analysis (plus build
+	// signatures), PDG the per-procedure skeleton+body construction and
+	// merge, Connect the interprocedural wiring.
+	ModRef  time.Duration
+	PDG     time.Duration
+	Connect time.Duration
+	Total   time.Duration
+}
+
+// BuildStats reports the graph's build-phase timings (zero for graphs not
+// produced by Build, e.g. Advance deltas or readout results).
+func (g *Graph) BuildStats() BuildStats { return g.buildStats }
 
 // Stats summarizes a graph for reporting.
 type Stats struct {

@@ -63,6 +63,10 @@ type Server struct {
 	requests int64
 	failed   int64
 	phases   specslice.Timings
+	// build aggregates the cold-build phase timings of engines this
+	// server built (cache misses that did not advance a version chain).
+	build       specslice.BuildStats
+	buildsTimed int64
 }
 
 // New returns a server with its routes installed.
@@ -178,6 +182,11 @@ type StatsResponse struct {
 	Failed   int64 `json:"failed"`
 	// Phases aggregates every served batch's polyvariant phase timings.
 	Phases specslice.Timings `json:"phases"`
+	// Build aggregates the cold-build phase breakdown (mod/ref, parallel
+	// PDG construction, interprocedural wiring) and worker-pool width of
+	// the engines this server cold-built; BuildsTimed counts them.
+	Build       specslice.BuildStats `json:"build"`
+	BuildsTimed int64                `json:"builds_timed"`
 }
 
 type errorResponse struct {
@@ -203,10 +212,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	resp := StatsResponse{
-		Batches:  s.batches,
-		Requests: s.requests,
-		Failed:   s.failed,
-		Phases:   s.phases,
+		Batches:     s.batches,
+		Requests:    s.requests,
+		Failed:      s.failed,
+		Phases:      s.phases,
+		Build:       s.build,
+		BuildsTimed: s.buildsTimed,
 	}
 	s.mu.Unlock()
 	resp.UptimeNS = int64(time.Since(s.start))
@@ -269,6 +280,15 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		neng, err := p.Engine()
+		if err == nil {
+			// This closure runs exactly once per distinct build
+			// (singleflight), so the cold-build phase aggregate counts
+			// each graph construction once.
+			s.mu.Lock()
+			s.build.Add(neng.BuildStats())
+			s.buildsTimed++
+			s.mu.Unlock()
+		}
 		return neng, false, err
 	})
 	if err != nil {
@@ -313,6 +333,12 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		resp.Results = append(resp.Results, out)
+		if res.Slice != nil {
+			// The response is fully materialized (variant counts, vertex
+			// totals, emitted source are copies); return the slice's pooled
+			// graph storage so warm readouts stay allocation-free.
+			res.Slice.Release()
+		}
 	}
 
 	// Failures are counted over the final results, so emit errors (which

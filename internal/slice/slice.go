@@ -111,34 +111,6 @@ func summaryFixpoint(g *sdg.Graph, seedProcs []*sdg.Proc) {
 		work = append(work, p)
 	}
 
-	// actualInFor / actualOutFor find a site's vertex matching a formal.
-	actualInFor := func(site *sdg.Site, fi *sdg.Vertex) (sdg.VertexID, bool) {
-		for _, aiID := range site.ActualIns {
-			ai := g.Vertices[aiID]
-			if fi.Param != sdg.NoParam {
-				if ai.Param == fi.Param {
-					return aiID, true
-				}
-			} else if ai.Param == sdg.NoParam && ai.Var == fi.Var {
-				return aiID, true
-			}
-		}
-		return 0, false
-	}
-	actualOutFor := func(site *sdg.Site, fo *sdg.Vertex) (sdg.VertexID, bool) {
-		for _, aoID := range site.ActualOuts {
-			ao := g.Vertices[aoID]
-			if fo.IsReturn {
-				if ao.IsReturn {
-					return aoID, true
-				}
-			} else if !ao.IsReturn && ao.Var == fo.Var {
-				return aoID, true
-			}
-		}
-		return 0, false
-	}
-
 	for _, p := range seedProcs {
 		for _, fo := range p.FormalOuts {
 			add(fo, fo)
@@ -151,9 +123,11 @@ func summaryFixpoint(g *sdg.Graph, seedProcs []*sdg.Proc) {
 		if vx.Kind == sdg.KindFormalIn {
 			fi := vx
 			fo := g.Vertices[it.fo]
+			// The site's matching actuals, by binary search over the
+			// shared actual/formal ordering invariant (sdg.Site docs).
 			for _, site := range g.SiteCalls(g.Procs[fi.Proc].Name) {
-				ai, ok1 := actualInFor(site, fi)
-				ao, ok2 := actualOutFor(site, fo)
+				ai, ok1 := site.ActualInFor(g, fi)
+				ao, ok2 := site.ActualOutFor(g, fo)
 				if !ok1 || !ok2 {
 					continue
 				}

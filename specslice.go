@@ -365,6 +365,22 @@ func (sl *Slice) SelfCheck() error {
 	return sl.res.ReslicingCheck(sl.spec)
 }
 
+// Release returns the slice's pooled analysis storage (the specialized
+// SDG behind a polyvariant slice) for reuse. The variant view, counts,
+// and any already-emitted source remain valid — they are materialized
+// copies — but SelfCheck is no longer available. Monovariant slices hold
+// no pooled storage; Release is a no-op for them. Long-running services
+// release each slice once its response is rendered, which makes warm
+// readouts run allocation-free; callers that keep the Slice may simply
+// skip the call.
+func (sl *Slice) Release() {
+	if sl.res != nil {
+		sl.res.Release()
+		sl.res = nil
+		sl.spec = nil
+	}
+}
+
 // Engine is the reusable batch-slicing surface over one SDG: the expensive
 // per-program analysis state (PDS encoding and Prestar rule indexes,
 // reachable-configuration automaton, summary edges) is built once and
@@ -415,6 +431,43 @@ func (e *Engine) Advance(p *Program) (*Engine, AdvanceStats, error) {
 // Warm eagerly builds every cache so subsequent requests pay only
 // per-query costs. Calling it is optional; caches also fill lazily.
 func (e *Engine) Warm() error { return e.s.eng.Warm() }
+
+// BuildStats is the JSON-stable cold-build phase breakdown of an engine's
+// graph: the interprocedural mod/ref analysis, the procedure-parallel PDG
+// construction, and the interprocedural wiring, plus the worker-pool
+// width the parallel phases ran at. Advanced engines (version chains)
+// report zeros — their graphs were never built from scratch.
+type BuildStats struct {
+	Workers   int   `json:"workers"`
+	ModRefNS  int64 `json:"modref_ns"`
+	PDGNS     int64 `json:"pdg_ns"`
+	ConnectNS int64 `json:"connect_ns"`
+	TotalNS   int64 `json:"total_ns"`
+}
+
+// Add accumulates o into s (aggregation across builds); the worker width
+// is taken from the most recent build.
+func (s *BuildStats) Add(o BuildStats) {
+	if o.Workers != 0 {
+		s.Workers = o.Workers
+	}
+	s.ModRefNS += o.ModRefNS
+	s.PDGNS += o.PDGNS
+	s.ConnectNS += o.ConnectNS
+	s.TotalNS += o.TotalNS
+}
+
+// BuildStats reports the cold-build phase timings of this engine's graph.
+func (e *Engine) BuildStats() BuildStats {
+	bs := e.s.eng.BuildStats()
+	return BuildStats{
+		Workers:   bs.Workers,
+		ModRefNS:  int64(bs.ModRef),
+		PDGNS:     int64(bs.PDG),
+		ConnectNS: int64(bs.Connect),
+		TotalNS:   int64(bs.Total),
+	}
+}
 
 // Footprint estimates the bytes retained by the engine's cached analysis
 // state (graph, encoding, reachable-configuration automaton), warming the
