@@ -40,11 +40,11 @@ func mrParse(t *testing.T, src string) *lang.Program {
 func modRefEqual(t *testing.T, ctx string, got, want *ModRef, prog *lang.Program) {
 	t.Helper()
 	for _, fn := range prog.Funcs {
-		if !summariesEqual(got, want, fn.Name) {
+		if !rowsEqualFor(got, want, fn.Name) {
 			t.Errorf("%s: %s summaries diverge from full recompute:\ngot  GMOD=%v GREF=%v MustMod=%v UEREF=%v\nwant GMOD=%v GREF=%v MustMod=%v UEREF=%v",
 				ctx, fn.Name,
-				got.GMOD[fn.Name].Sorted(), got.GREF[fn.Name].Sorted(), got.MustMod[fn.Name].Sorted(), got.UEREF[fn.Name].Sorted(),
-				want.GMOD[fn.Name].Sorted(), want.GREF[fn.Name].Sorted(), want.MustMod[fn.Name].Sorted(), want.UEREF[fn.Name].Sorted())
+				got.GMOD(fn.Name).Sorted(), got.GREF(fn.Name).Sorted(), got.MustMod(fn.Name).Sorted(), got.UEREF(fn.Name).Sorted(),
+				want.GMOD(fn.Name).Sorted(), want.GREF(fn.Name).Sorted(), want.MustMod(fn.Name).Sorted(), want.UEREF(fn.Name).Sorted())
 		}
 	}
 }

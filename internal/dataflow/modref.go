@@ -1,27 +1,37 @@
 // Package dataflow implements the interprocedural side-effect analyses the
 // SDG builder needs: GMOD/GREF (globals a procedure may modify/reference,
-// transitively) and MustMod (globals a procedure assigns on every
-// terminating path), in the style of Cooper–Kennedy.
+// transitively), MustMod (globals a procedure assigns on every terminating
+// path), and UEREF (globals it may reference before definitely assigning
+// them), in the style of Cooper–Kennedy.
 //
-// The summary equations only flow callee → caller, so the solver runs
-// bottom-up over the condensation of the call graph: each strongly
-// connected component is solved to its (unique) fixpoint once its callees
-// are final, non-recursive procedures in a single pass. Components at the
+// The relations are solved on dense bitsets: every global gets an interned
+// ID (Interner), every procedure one []uint64 row per relation, and the
+// summary equations become word-wise OR/AND over rows. The equations only
+// flow callee → caller, so the solver runs bottom-up over the condensation
+// of the call graph: non-recursive components solve in a single pass once
+// their callees are final, recursive components iterate their rows to
+// fixpoint, and change detection is word comparison. Components at the
 // same condensation level share no call edges, so a level's components
-// solve in parallel across a worker pool; the fixpoints are unique, which
-// is what keeps the result — and everything downstream, vertex numbering
-// included — byte-identical no matter the worker count.
+// fan out across a worker pool in contiguous chunks balanced by statement
+// count — coarse enough that small components don't drown the win in
+// scheduling overhead. The fixpoints are unique, which is what keeps the
+// result — and everything downstream, vertex numbering included —
+// byte-identical no matter the worker count. The map-based solver this
+// replaced survives in reference_test.go as the differential oracle.
 package dataflow
 
 import (
 	"sort"
+	"sync"
+	"time"
 
 	"specslice/internal/cfg"
 	"specslice/internal/lang"
 	"specslice/internal/par"
 )
 
-// StringSet is a set of variable names.
+// StringSet is a set of variable names — the materialized-view currency of
+// the dense relations, kept for oracle tests and non-hot-path consumers.
 type StringSet map[string]bool
 
 // Clone returns a copy of s.
@@ -56,38 +66,167 @@ func (s StringSet) Equal(o StringSet) bool {
 	return true
 }
 
-// ModRef holds the per-procedure side-effect summaries.
-type ModRef struct {
-	// GMOD maps each function to the globals it may modify, including
-	// through callees.
-	GMOD map[string]StringSet
-	// GREF maps each function to the globals it may reference, including
-	// through callees.
-	GREF map[string]StringSet
-	// MustMod maps each function to the globals it definitely assigns on
-	// every path from entry to exit, including through callees.
-	MustMod map[string]StringSet
-	// UEREF maps each function to the globals it may reference before
-	// definitely assigning them (upward-exposed references), including
-	// through callees. The SDG builder creates formal-in vertices for
-	// UEREF ∪ (GMOD − MustMod), matching the paper's
-	// MayRef ∪ (MayMod − MustMod) rule (§2.1.1).
-	UEREF map[string]StringSet
+// ModRefStats records where one mod/ref computation spent its time.
+type ModRefStats struct {
+	// Intern covers interner construction, the procedure table, and
+	// address-taken resolution; Local the per-procedure CFG construction
+	// and local def/ref/use bit extraction; Fixpoint the call-graph
+	// condensation and the word-wise summary propagation.
+	Intern   time.Duration
+	Local    time.Duration
+	Fixpoint time.Duration
 }
+
+// ModRef holds the per-procedure side-effect summaries on dense rows over
+// interned global-variable IDs. The four relations are:
+//
+//   - GMOD: globals a procedure may modify, including through callees;
+//   - GREF: globals it may reference, including through callees;
+//   - MustMod: globals it definitely assigns on every path from entry to
+//     exit, including through callees;
+//   - UEREF: globals it may reference before definitely assigning them
+//     (upward-exposed references), including through callees. The SDG
+//     builder creates formal-in vertices for UEREF ∪ (GMOD − MustMod),
+//     matching the paper's MayRef ∪ (MayMod − MustMod) rule (§2.1.1).
+//
+// The accessor methods returning StringSet are a lazily-materialized view
+// (built once, on first use) for oracle tests and cold consumers; the SDG
+// builder's hot paths read the precomputed sorted name slices and bit
+// tests instead. A ModRef is immutable after construction and safe for
+// concurrent readers.
+type ModRef struct {
+	in    *Interner
+	procs []string // procedure names, in program order
+	idx   map[string]int
+	words int
+	top   []uint64 // all interned variables set
+
+	gmod, gref, mustmod, ueref []uint64 // len(procs)×words, flattened
+
+	// Sorted-name views the SDG builder and the build-signature hasher
+	// read per skeleton and per call site; precomputed once so no access
+	// sorts or allocates.
+	formalInNames [][]string
+	gmodNames     [][]string
+	mustModNames  [][]string
+
+	stats ModRefStats
+
+	viewOnce sync.Once
+	view     *modRefView
+}
+
+// modRefView is the map materialization of the dense rows.
+type modRefView struct {
+	gmod, gref, mustmod, ueref map[string]StringSet
+}
+
+func (mr *ModRef) row(rel []uint64, i int) []uint64 {
+	return rel[i*mr.words : (i+1)*mr.words : (i+1)*mr.words]
+}
+
+func (mr *ModRef) materialize() *modRefView {
+	mr.viewOnce.Do(func() {
+		v := &modRefView{
+			gmod:    make(map[string]StringSet, len(mr.procs)),
+			gref:    make(map[string]StringSet, len(mr.procs)),
+			mustmod: make(map[string]StringSet, len(mr.procs)),
+			ueref:   make(map[string]StringSet, len(mr.procs)),
+		}
+		for i, name := range mr.procs {
+			v.gmod[name] = mr.in.decodeSet(mr.row(mr.gmod, i))
+			v.gref[name] = mr.in.decodeSet(mr.row(mr.gref, i))
+			v.mustmod[name] = mr.in.decodeSet(mr.row(mr.mustmod, i))
+			v.ueref[name] = mr.in.decodeSet(mr.row(mr.ueref, i))
+		}
+		mr.view = v
+	})
+	return mr.view
+}
+
+// GMOD returns fn's may-modify set as a materialized view.
+func (mr *ModRef) GMOD(fn string) StringSet { return mr.materialize().gmod[fn] }
+
+// GREF returns fn's may-reference set as a materialized view.
+func (mr *ModRef) GREF(fn string) StringSet { return mr.materialize().gref[fn] }
+
+// MustMod returns fn's must-modify set as a materialized view.
+func (mr *ModRef) MustMod(fn string) StringSet { return mr.materialize().mustmod[fn] }
+
+// UEREF returns fn's upward-exposed reference set as a materialized view.
+func (mr *ModRef) UEREF(fn string) StringSet { return mr.materialize().ueref[fn] }
 
 // FormalInGlobals returns the globals needing formal-in vertices for fn:
 // UEREF(fn) ∪ (GMOD(fn) − MustMod(fn)).
 func (mr *ModRef) FormalInGlobals(fn string) StringSet {
-	out := mr.UEREF[fn].Clone()
-	for g := range mr.GMOD[fn] {
-		if !mr.MustMod[fn][g] {
-			out[g] = true
-		}
+	out := StringSet{}
+	for _, name := range mr.FormalInGlobalNames(fn) {
+		out[name] = true
 	}
 	return out
 }
 
-// ComputeModRef computes GMOD, GREF, and MustMod for every function,
+// FormalInGlobalNames returns FormalInGlobals(fn) as a sorted name slice,
+// precomputed — the SDG builder's form. Callers must not mutate it.
+func (mr *ModRef) FormalInGlobalNames(fn string) []string {
+	if i, ok := mr.idx[fn]; ok {
+		return mr.formalInNames[i]
+	}
+	return nil
+}
+
+// GMODNames returns GMOD(fn) as a sorted name slice, precomputed. Callers
+// must not mutate it.
+func (mr *ModRef) GMODNames(fn string) []string {
+	if i, ok := mr.idx[fn]; ok {
+		return mr.gmodNames[i]
+	}
+	return nil
+}
+
+// MustModNames returns MustMod(fn) as a sorted name slice, precomputed.
+// Callers must not mutate it.
+func (mr *ModRef) MustModNames(fn string) []string {
+	if i, ok := mr.idx[fn]; ok {
+		return mr.mustModNames[i]
+	}
+	return nil
+}
+
+// MustModHas reports v ∈ MustMod(fn) by a bit test.
+func (mr *ModRef) MustModHas(fn, v string) bool {
+	i, ok := mr.idx[fn]
+	if !ok {
+		return false
+	}
+	id, ok := mr.in.ID(v)
+	if !ok {
+		return false
+	}
+	return mr.row(mr.mustmod, i)[id/64]&(1<<(uint(id)%64)) != 0
+}
+
+// Interner returns the global-variable interner the rows are encoded over.
+func (mr *ModRef) Interner() *Interner { return mr.in }
+
+// Stats reports the phase timings of the computation that produced mr.
+func (mr *ModRef) Stats() ModRefStats { return mr.stats }
+
+// rowsEqualFor reports whether name's four summary rows agree between two
+// analyses over the same interner.
+func rowsEqualFor(a, b *ModRef, name string) bool {
+	ai, aok := a.idx[name]
+	bi, bok := b.idx[name]
+	if !aok || !bok {
+		return aok == bok
+	}
+	return rowEqual(a.row(a.gmod, ai), b.row(b.gmod, bi)) &&
+		rowEqual(a.row(a.gref, ai), b.row(b.gref, bi)) &&
+		rowEqual(a.row(a.mustmod, ai), b.row(b.mustmod, bi)) &&
+		rowEqual(a.row(a.ueref, ai), b.row(b.ueref, bi))
+}
+
+// ComputeModRef computes the four relations for every function,
 // single-threaded. Indirect calls are treated conservatively as calls to
 // any address-taken function (Andersen-style, flow-insensitive); programs
 // transformed by the funcptr package contain no indirect calls and get
@@ -97,23 +236,24 @@ func ComputeModRef(prog *lang.Program) *ModRef {
 }
 
 // ComputeModRefWorkers is ComputeModRef over a worker pool of the given
-// size (<= 0 means GOMAXPROCS): call-graph components at the same
-// condensation level are analyzed concurrently. The result is identical
+// size (<= 0 means GOMAXPROCS): the local phase shards procedures and the
+// fixpoint phase shards call-graph components at the same condensation
+// level, in chunks balanced by statement count. The result is identical
 // for every worker count.
 func ComputeModRefWorkers(prog *lang.Program, workers int) *ModRef {
 	return computeModRef(prog, prog.Funcs, nil, workers)
 }
 
 // AdvanceModRef computes newProg's summaries incrementally against a
-// previous version: a procedure's GMOD/GREF/MustMod/UEREF depend only on
-// its own statements and its (transitive) callees' summaries, so every
-// procedure whose call subtree is textually unchanged keeps its old
-// summaries, and the fixpoints re-run only over the dirty region — the
-// edited procedures and their transitive callers. old is only read (its
-// sets are cloned, never aliased), so the previous version may keep
-// serving concurrently. Falls back to a full computation when the global
-// declarations or the address-taken function set changed (both are
-// program-wide inputs to every summary).
+// previous version: a procedure's four relations depend only on its own
+// statements and its (transitive) callees' summaries, so every procedure
+// whose call subtree is textually unchanged keeps its old rows, and the
+// fixpoints re-run only over the dirty region — the edited procedures and
+// their transitive callers. old is only read (its rows are copied, never
+// aliased), so the previous version may keep serving concurrently. Falls
+// back to a full computation when the global declarations or the
+// address-taken function set changed (both are program-wide inputs to
+// every summary).
 func AdvanceModRef(newProg, oldProg *lang.Program, old *ModRef) *ModRef {
 	if old == nil || oldProg == nil {
 		return ComputeModRef(newProg)
@@ -134,6 +274,8 @@ func AdvanceModRefDiff(newProg, oldProg *lang.Program, old *ModRef, diff lang.Pr
 	if hasIndirectCalls(newProg) || hasIndirectCalls(oldProg) {
 		return ComputeModRef(newProg)
 	}
+	// Globals unchanged ⇒ the old interner covers the new program, so old
+	// rows copy verbatim and the change cutoff is a word comparison.
 	if diff.GlobalsChanged || !sameStrings(addressTakenFuncs(oldProg), addressTakenFuncs(newProg)) {
 		return ComputeModRef(newProg)
 	}
@@ -141,7 +283,7 @@ func AdvanceModRefDiff(newProg, oldProg *lang.Program, old *ModRef, diff lang.Pr
 	// Dirty: textually changed or added procedures. Removed procedures
 	// need no entry — any caller they had must have changed textually to
 	// keep resolving. Callers of dirty procedures join the set lazily,
-	// change-driven: only when a dirty procedure's recomputed summaries
+	// change-driven: only when a dirty procedure's recomputed rows
 	// actually differ from its old ones (the common statement edit
 	// preserves the summaries, and then no caller is ever reanalyzed).
 	dirty := map[string]bool{}
@@ -169,34 +311,23 @@ func AdvanceModRefDiff(newProg, oldProg *lang.Program, old *ModRef, diff lang.Pr
 	}
 
 	for {
-		base := &ModRef{
-			GMOD:    map[string]StringSet{},
-			GREF:    map[string]StringSet{},
-			MustMod: map[string]StringSet{},
-			UEREF:   map[string]StringSet{},
-		}
 		var dirtyFns []*lang.FuncDecl
 		for _, fn := range newProg.Funcs {
 			if dirty[fn.Name] {
 				dirtyFns = append(dirtyFns, fn)
-				continue
 			}
-			base.GMOD[fn.Name] = old.GMOD[fn.Name].Clone()
-			base.GREF[fn.Name] = old.GREF[fn.Name].Clone()
-			base.MustMod[fn.Name] = old.MustMod[fn.Name].Clone()
-			base.UEREF[fn.Name] = old.UEREF[fn.Name].Clone()
 		}
-		mr := computeModRef(newProg, dirtyFns, base, 1)
+		mr := computeModRef(newProg, dirtyFns, old, 1)
 
-		// Cutoff check: if every dirty procedure's summaries match its old
+		// Cutoff check: if every dirty procedure's rows match its old
 		// ones, the callers outside the dirty set — computed against
-		// exactly those summaries — are still final. Otherwise pull the
+		// exactly those rows — are still final. Otherwise pull the
 		// affected callers in and rerun; the set only grows, so this
 		// terminates.
 		grew := false
 		for _, fn := range dirtyFns {
 			name := fn.Name
-			if !oldHas[name] || summariesEqual(old, mr, name) {
+			if !oldHas[name] || rowsEqualFor(old, mr, name) {
 				continue
 			}
 			for _, caller := range callers[name] {
@@ -212,145 +343,288 @@ func AdvanceModRefDiff(newProg, oldProg *lang.Program, old *ModRef, diff lang.Pr
 	}
 }
 
-// summariesEqual reports whether name's four summary sets agree between
-// two analyses.
-func summariesEqual(a, b *ModRef, name string) bool {
-	return a.GMOD[name].Equal(b.GMOD[name]) &&
-		a.GREF[name].Equal(b.GREF[name]) &&
-		a.MustMod[name].Equal(b.MustMod[name]) &&
-		a.UEREF[name].Equal(b.UEREF[name])
+// procLocal is the precomputed dataflow view of one procedure being
+// solved: its CFG, the direct (callee-independent) effect bits of its
+// statements, and its resolved call structure. Extracting this once —
+// instead of re-walking the AST on every fixpoint iteration — is where
+// most of the dense solver's sequential win comes from.
+type procLocal struct {
+	graph *cfg.Graph
+	size  int // statement count; the chunking weight
+
+	localMod, localRef []uint64 // direct global assignments / references
+
+	genBits []uint64 // nodes×words: direct must-gen bits per CFG node
+	useBits []uint64 // nodes×words: direct global uses per CFG node
+
+	// callAt[i] lists the resolved callee procedure indexes of node i
+	// (every address-taken procedure for indirect calls), nil for
+	// non-call nodes; their MustMod meet and UEREF union are read live
+	// from the rows during propagation.
+	callAt [][]int
+
+	// preds[i] lists the executable (non-pseudo) predecessors of node i.
+	preds [][]int
+
+	callees []int // unique callee proc indexes, ascending (call graph)
 }
 
-// solver carries the shared inputs of one computeModRef run plus the
-// per-function summary slots the component workers write. Slots are
-// indexed by position in fns; a worker only writes the slots of its own
-// component and only reads slots of strictly lower condensation levels
-// (already final) or its own component, so slot access is race-free
+// solver carries the shared state of one computeModRef run. Rows are
+// indexed by program-wide procedure index; a worker only writes the rows
+// of its own component and only reads rows of strictly lower condensation
+// levels (already final) or its own component, so row access is race-free
 // without locks.
 type solver struct {
-	prog         *lang.Program
-	globals      StringSet
-	addressTaken []string
-	base         *ModRef // final summaries of procedures outside fns
-	fns          []*lang.FuncDecl
-	idxOf        map[string]int // fn name -> index in fns
-	graphs       []*cfg.Graph
-
-	gmod, gref, mustmod, ueref []StringSet
+	prog    *lang.Program
+	mr      *ModRef
+	fns     []*lang.FuncDecl // the dirty subset being solved
+	fnProc  []int            // fns index -> procedure index
+	solveAt []int            // procedure index -> fns index, -1 if final
+	locals  []procLocal      // by fns index
 }
 
-func (s *solver) curGMOD(name string) StringSet {
-	if i, ok := s.idxOf[name]; ok {
-		return s.gmod[i]
+// computeModRef solves the four relations over prog. fns is the subset to
+// (re)solve; prev supplies final rows, by name, for every procedure
+// outside fns (nil means fns covers the whole program). Restricting the
+// iteration is sound because the caller keeps the fns set closed under
+// callers: every procedure outside fns has final rows in prev, and
+// summaries only flow callee → caller. prev must be encoded over the same
+// global declarations (the advance path guarantees this by falling back
+// to a full computation when globals change).
+func computeModRef(prog *lang.Program, fns []*lang.FuncDecl, prev *ModRef, workers int) *ModRef {
+	t0 := time.Now()
+	var in *Interner
+	if prev != nil {
+		in = prev.in
+	} else {
+		in = InternGlobals(prog)
 	}
-	return s.base.GMOD[name]
-}
-
-func (s *solver) curGREF(name string) StringSet {
-	if i, ok := s.idxOf[name]; ok {
-		return s.gref[i]
+	n := len(prog.Funcs)
+	words := in.Words()
+	mr := &ModRef{
+		in:      in,
+		procs:   make([]string, n),
+		idx:     make(map[string]int, n),
+		words:   words,
+		top:     make([]uint64, words),
+		gmod:    make([]uint64, n*words),
+		gref:    make([]uint64, n*words),
+		mustmod: make([]uint64, n*words),
+		ueref:   make([]uint64, n*words),
 	}
-	return s.base.GREF[name]
-}
-
-func (s *solver) curMustMod(name string) StringSet {
-	if i, ok := s.idxOf[name]; ok {
-		return s.mustmod[i]
+	for id := 0; id < in.Len(); id++ {
+		mr.top[id/64] |= 1 << (uint(id) % 64)
 	}
-	return s.base.MustMod[name]
-}
-
-func (s *solver) curUEREF(name string) StringSet {
-	if i, ok := s.idxOf[name]; ok {
-		return s.ueref[i]
-	}
-	return s.base.UEREF[name]
-}
-
-// computeModRef runs the summary analyses over fns only; base carries
-// final summaries for every other procedure (nil means fns covers the
-// whole program). Restricting the iteration is sound because the caller
-// keeps the fns set closed under callers: every procedure outside fns has
-// its final summaries in base, and summaries only flow callee -> caller.
-func computeModRef(prog *lang.Program, fns []*lang.FuncDecl, base *ModRef, workers int) *ModRef {
-	globals := StringSet{}
-	for _, g := range prog.Globals {
-		if !g.IsFnPtr {
-			globals[g.Name] = true
-		}
-	}
-
-	mr := base
-	if mr == nil {
-		mr = &ModRef{
-			GMOD:    map[string]StringSet{},
-			GREF:    map[string]StringSet{},
-			MustMod: map[string]StringSet{},
-			UEREF:   map[string]StringSet{},
-		}
-	}
-	if len(fns) == 0 {
-		return mr
+	for i, fn := range prog.Funcs {
+		mr.procs[i] = fn.Name
+		mr.idx[fn.Name] = i
 	}
 
 	s := &solver{
-		prog:         prog,
-		globals:      globals,
-		addressTaken: addressTakenFuncs(prog),
-		base:         mr,
-		fns:          fns,
-		idxOf:        make(map[string]int, len(fns)),
-		graphs:       make([]*cfg.Graph, len(fns)),
-		gmod:         make([]StringSet, len(fns)),
-		gref:         make([]StringSet, len(fns)),
-		mustmod:      make([]StringSet, len(fns)),
-		ueref:        make([]StringSet, len(fns)),
+		prog:    prog,
+		mr:      mr,
+		fns:     fns,
+		fnProc:  make([]int, len(fns)),
+		solveAt: make([]int, n),
+		locals:  make([]procLocal, len(fns)),
 	}
-	for i, fn := range fns {
-		s.idxOf[fn.Name] = i
+	for i := range s.solveAt {
+		s.solveAt[i] = -1
 	}
-	par.For(workers, len(fns), func(i int) {
-		s.graphs[i] = cfg.Build(fns[i])
-	})
-
-	// Call graph restricted to fns, condensed into SCCs, grouped into
-	// levels (level = 1 + max callee level), callees first.
-	callees := make([][]int, len(fns))
-	for i, fn := range fns {
-		seen := map[int]bool{}
-		for _, st := range fn.Stmts() {
-			c, ok := st.(*lang.CallStmt)
-			if !ok {
+	for k, fn := range fns {
+		pi := mr.idx[fn.Name]
+		s.fnProc[k] = pi
+		s.solveAt[pi] = k
+	}
+	// Procedures outside fns keep their previous rows, copied (never
+	// aliased — prev may be serving concurrent readers).
+	if prev != nil {
+		for i, name := range mr.procs {
+			if s.solveAt[i] >= 0 {
 				continue
 			}
-			for _, callee := range calleesOf(prog, c, s.addressTaken) {
-				if j, in := s.idxOf[callee]; in && !seen[j] {
-					seen[j] = true
-					callees[i] = append(callees[i], j)
+			pi := prev.idx[name]
+			copy(mr.row(mr.gmod, i), prev.row(prev.gmod, pi))
+			copy(mr.row(mr.gref, i), prev.row(prev.gref, pi))
+			copy(mr.row(mr.mustmod, i), prev.row(prev.mustmod, pi))
+			copy(mr.row(mr.ueref, i), prev.row(prev.ueref, pi))
+		}
+	}
+	addressTaken := resolveAddressTaken(prog, mr.idx)
+	tIntern := time.Now()
+
+	if len(fns) > 0 {
+		// Local phase: per-procedure CFG + effect-bit extraction, sharded
+		// in chunks balanced by statement count.
+		sizes := make([]int, len(fns))
+		for k, fn := range fns {
+			sizes[k] = len(fn.Stmts())
+		}
+		par.ForWeighted(parWorkers(workers, total(sizes)), len(fns),
+			func(k int) int { return sizes[k] },
+			func(k int) { s.buildLocal(k, addressTaken) })
+	}
+	tLocal := time.Now()
+
+	if len(fns) > 0 {
+		// Call graph restricted to fns, condensed into SCCs, grouped into
+		// levels (level = 1 + max callee level), callees first.
+		succs := make([][]int, len(fns))
+		for k := range s.locals {
+			for _, pi := range s.locals[k].callees {
+				if j := s.solveAt[pi]; j >= 0 {
+					succs[k] = append(succs[k], j)
 				}
 			}
 		}
-		sort.Ints(callees[i])
-	}
-	levels := sccLevels(len(fns), callees)
+		levels := sccLevels(len(fns), succs)
 
-	// Solve levels bottom-up; components within a level are independent
-	// (a callee is always strictly lower-level) and run in parallel.
-	for _, comps := range levels {
-		par.For(workers, len(comps), func(ci int) {
-			s.solveComponent(comps[ci], callees)
-		})
+		// Solve levels bottom-up; components within a level are
+		// independent (a callee is always strictly lower-level) and fan
+		// out in statement-count-balanced chunks.
+		for _, comps := range levels {
+			comps := comps
+			weight := func(ci int) int {
+				w := 0
+				for _, k := range comps[ci] {
+					w += s.locals[k].size
+				}
+				return w
+			}
+			lw := 0
+			for ci := range comps {
+				lw += weight(ci)
+			}
+			par.ForWeighted(parWorkers(workers, lw), len(comps), weight,
+				func(ci int) { s.solveComponent(comps[ci]) })
+		}
 	}
 
-	// Install the slots (the maps are shared with readers of base, so the
-	// parallel phase never touches them).
-	for i, fn := range fns {
-		mr.GMOD[fn.Name] = s.gmod[i]
-		mr.GREF[fn.Name] = s.gref[i]
-		mr.MustMod[fn.Name] = s.mustmod[i]
-		mr.UEREF[fn.Name] = s.ueref[i]
+	// Precompute the sorted-name views the SDG builder reads per skeleton
+	// and per call site: FormalInGlobals = UEREF ∪ (GMOD − MustMod).
+	mr.formalInNames = make([][]string, n)
+	mr.gmodNames = make([][]string, n)
+	mr.mustModNames = make([][]string, n)
+	scratch := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		gm := mr.row(mr.gmod, i)
+		mm := mr.row(mr.mustmod, i)
+		ue := mr.row(mr.ueref, i)
+		for w := 0; w < words; w++ {
+			scratch[w] = ue[w] | (gm[w] &^ mm[w])
+		}
+		mr.formalInNames[i] = in.decodeNames(scratch)
+		mr.gmodNames[i] = in.decodeNames(gm)
+		mr.mustModNames[i] = in.decodeNames(mm)
+	}
+	tFix := time.Now()
+	mr.stats = ModRefStats{
+		Intern:   tIntern.Sub(t0),
+		Local:    tLocal.Sub(tIntern),
+		Fixpoint: tFix.Sub(tLocal),
 	}
 	return mr
+}
+
+// parMinStmts is the statement-count floor below which a phase runs
+// inline: fanning a few hundred statements across goroutines costs more
+// in scheduling than the word-wise solve itself.
+const parMinStmts = 1024
+
+func parWorkers(workers, totalWeight int) int {
+	if totalWeight < parMinStmts {
+		return 1
+	}
+	return workers
+}
+
+func total(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// buildLocal extracts fns[k]'s CFG and direct effect bits.
+func (s *solver) buildLocal(k int, addressTaken []int) {
+	fn := s.fns[k]
+	mr := s.mr
+	words := mr.words
+	g := cfg.Build(fn)
+	loc := &s.locals[k]
+	loc.graph = g
+	loc.size = len(fn.Stmts())
+	loc.localMod = make([]uint64, words)
+	loc.localRef = make([]uint64, words)
+	nn := len(g.Nodes)
+	loc.genBits = make([]uint64, nn*words)
+	loc.useBits = make([]uint64, nn*words)
+	loc.callAt = make([][]int, nn)
+	loc.preds = make([][]int, nn)
+	for ni := range g.Preds {
+		for _, e := range g.Preds[ni] {
+			if !e.Pseudo {
+				loc.preds[ni] = append(loc.preds[ni], e.To)
+			}
+		}
+	}
+
+	// The interner holds exactly the non-fnptr globals, so an ID lookup
+	// doubles as the is-global test (name-based, like the map solver: a
+	// local shadowing a global's name is treated as the global).
+	setVar := func(row []uint64, name string) {
+		if id, ok := mr.in.ID(name); ok {
+			row[id/64] |= 1 << (uint(id) % 64)
+		}
+	}
+	refExpr := func(row []uint64, e lang.Expr) {
+		for _, v := range lang.ExprVars(e) {
+			setVar(row, v)
+		}
+	}
+
+	calleeSet := map[int]bool{}
+	for _, node := range g.Nodes {
+		if node.Stmt == nil {
+			continue
+		}
+		gen := loc.genBits[node.ID*words : (node.ID+1)*words]
+		use := loc.useBits[node.ID*words : (node.ID+1)*words]
+		// Direct uses: every global referenced in the node's expressions.
+		for _, e := range lang.StmtExprs(node.Stmt) {
+			refExpr(use, e)
+			refExpr(loc.localRef, e)
+		}
+		switch x := node.Stmt.(type) {
+		case *lang.AssignStmt:
+			setVar(gen, x.LHS)
+			setVar(loc.localMod, x.LHS)
+		case *lang.ScanfStmt:
+			setVar(gen, x.Var)
+			setVar(loc.localMod, x.Var)
+		case *lang.CallStmt:
+			setVar(gen, x.Target)
+			setVar(loc.localMod, x.Target)
+			var callees []int
+			if x.Indirect {
+				callees = addressTaken
+			} else if pi, ok := mr.idx[x.Callee]; ok {
+				callees = []int{pi}
+			}
+			if len(callees) > 0 {
+				loc.callAt[node.ID] = callees
+				for _, pi := range callees {
+					calleeSet[pi] = true
+				}
+			}
+		}
+	}
+	loc.callees = make([]int, 0, len(calleeSet))
+	for pi := range calleeSet {
+		loc.callees = append(loc.callees, pi)
+	}
+	sort.Ints(loc.callees)
 }
 
 // sccLevels computes the strongly connected components of the call graph
@@ -457,40 +731,47 @@ func sccLevels(n int, succs [][]int) [][][]int {
 	return out
 }
 
-// solveComponent runs the three summary fixpoints over one SCC, reading
-// already-final callee summaries from lower levels (or base) and writing
-// the component members' slots. Non-recursive components converge in a
-// single pass of each analysis.
-func (s *solver) solveComponent(members []int, callees [][]int) {
+// solveComponent runs the three summary fixpoints over one SCC (members
+// are fns indexes), reading already-final callee rows from lower levels
+// and writing the component members' rows. Non-recursive components
+// converge in a single pass of each analysis.
+func (s *solver) solveComponent(members []int) {
+	mr := s.mr
+	words := mr.words
 	recursive := len(members) > 1
 	if !recursive {
-		v := members[0]
-		for _, w := range callees[v] {
-			if w == v {
+		k := members[0]
+		pi := s.fnProc[k]
+		for _, c := range s.locals[k].callees {
+			if c == pi {
 				recursive = true
 				break
 			}
 		}
 	}
-	for _, i := range members {
-		s.gmod[i] = StringSet{}
-		s.gref[i] = StringSet{}
-		s.mustmod[i] = s.globals.Clone() // top; shrinks to greatest fixed point
-		s.ueref[i] = StringSet{}
-	}
 
-	// GMOD/GREF: least fixed point, growing.
+	// GMOD/GREF: least fixed point, growing. Rows start at the direct
+	// effects; each pass ORs in the callee rows word-wise.
+	for _, k := range members {
+		pi := s.fnProc[k]
+		copy(mr.row(mr.gmod, pi), s.locals[k].localMod)
+		copy(mr.row(mr.gref, pi), s.locals[k].localRef)
+	}
 	for {
 		changed := false
-		for _, i := range members {
-			fn := s.fns[i]
-			gm, gr := s.gmod[i], s.gref[i]
-			before := len(gm) + len(gr)
-			for _, st := range fn.Stmts() {
-				s.addStmtModRef(fn, st, gm, gr)
-			}
-			if len(gm)+len(gr) != before {
-				changed = true
+		for _, k := range members {
+			pi := s.fnProc[k]
+			gm := mr.row(mr.gmod, pi)
+			gr := mr.row(mr.gref, pi)
+			for _, callees := range s.locals[k].callAt {
+				for _, c := range callees {
+					if orInto(gm, mr.row(mr.gmod, c)) {
+						changed = true
+					}
+					if orInto(gr, mr.row(mr.gref, c)) {
+						changed = true
+					}
+				}
 			}
 		}
 		if !recursive || !changed {
@@ -499,54 +780,148 @@ func (s *solver) solveComponent(members []int, callees [][]int) {
 	}
 
 	// MustMod: greatest fixed point, shrinking. Needs a per-function
-	// forward must-analysis over the executable CFG.
+	// forward must-analysis over the executable CFG; recursive components
+	// re-run it until the exit rows stabilize.
+	outs := make([][]uint64, len(members))
+	for mi, k := range members {
+		pi := s.fnProc[k]
+		copy(mr.row(mr.mustmod, pi), mr.top) // top; shrinks to greatest fixed point
+		outs[mi] = make([]uint64, len(s.locals[k].graph.Nodes)*words)
+	}
 	for {
 		changed := false
-		for _, i := range members {
-			outs := s.mustDefOuts(i)
-			got := outs[s.graphs[i].Exit.ID]
-			if !got.Equal(s.mustmod[i]) {
-				s.mustmod[i] = got
+		for mi, k := range members {
+			pi := s.fnProc[k]
+			s.mustDefOuts(k, outs[mi])
+			got := outs[mi][s.locals[k].graph.Exit.ID*words : (s.locals[k].graph.Exit.ID+1)*words]
+			cur := mr.row(mr.mustmod, pi)
+			if !rowEqual(got, cur) {
+				copy(cur, got)
 				changed = true
 			}
 		}
 		if !recursive || !changed {
 			break
+		}
+	}
+	// Recompute the per-node outs once against the converged MustMod rows;
+	// the UEREF phase reads them as its kill information.
+	if recursive {
+		for mi, k := range members {
+			s.mustDefOuts(k, outs[mi])
 		}
 	}
 
 	// UEREF: least fixed point, growing. A global is upward-exposed in fn
 	// if some node uses it (directly, or via a callee's UEREF) at a point
 	// where it is not yet definitely assigned.
-	mustOuts := make([][]StringSet, len(members))
-	for mi, i := range members {
-		mustOuts[mi] = s.mustDefOuts(i)
-	}
+	in := make([]uint64, words)
+	uses := make([]uint64, words)
 	for {
 		changed := false
-		for mi, i := range members {
-			g := s.graphs[i]
-			outs := mustOuts[mi]
-			ue := s.ueref[i]
-			before := len(ue)
-			for ni, node := range g.Nodes {
-				uses := s.nodeGlobalUses(node)
-				if len(uses) == 0 {
+		for mi, k := range members {
+			loc := &s.locals[k]
+			pi := s.fnProc[k]
+			ue := mr.row(mr.ueref, pi)
+			out := outs[mi]
+			// A node's uses: its direct global references plus, for call
+			// nodes, the callees' upward-exposed sets.
+			for ni := range loc.graph.Nodes {
+				copy(uses, loc.useBits[ni*words:(ni+1)*words])
+				for _, c := range loc.callAt[ni] {
+					orInto(uses, mr.row(mr.ueref, c))
+				}
+				if rowIsEmpty(uses) {
 					continue
 				}
-				in := s.mustDefIn(g, outs, ni)
-				for v := range uses {
-					if !in[v] {
-						ue[v] = true
+				s.mustDefIn(loc, out, ni, in)
+				for w := 0; w < words; w++ {
+					if n := ue[w] | (uses[w] &^ in[w]); n != ue[w] {
+						ue[w] = n
+						changed = true
 					}
 				}
-			}
-			if len(ue) != before {
-				changed = true
 			}
 		}
 		if !recursive || !changed {
 			break
+		}
+	}
+}
+
+// mustDefIn computes, into in, the set of globals definitely assigned
+// before node ni begins: the meet (AND) over its executable predecessors'
+// out rows; ⊥ for the entry, ⊤ for unreachable nodes.
+func (s *solver) mustDefIn(loc *procLocal, outs []uint64, ni int, in []uint64) {
+	words := s.mr.words
+	if loc.graph.Nodes[ni].Kind == cfg.KindEntry {
+		for w := range in {
+			in[w] = 0
+		}
+		return
+	}
+	preds := loc.preds[ni]
+	if len(preds) == 0 {
+		copy(in, s.mr.top) // unreachable
+		return
+	}
+	copy(in, outs[preds[0]*words:(preds[0]+1)*words])
+	for _, p := range preds[1:] {
+		andInto(in, outs[p*words:(p+1)*words])
+	}
+}
+
+// mustDefOuts runs the intraprocedural forward must-assigned analysis for
+// fns[k] using the current MustMod rows for callees, filling the per-node
+// "definitely assigned at node end" rows (nodes×words) in outs.
+func (s *solver) mustDefOuts(k int, outs []uint64) {
+	mr := s.mr
+	words := mr.words
+	loc := &s.locals[k]
+	g := loc.graph
+	n := len(g.Nodes)
+	// out[i] = globals definitely assigned on every path from entry to the
+	// end of node i. Initialize to top (all globals) except entry.
+	for ni := 0; ni < n; ni++ {
+		row := outs[ni*words : (ni+1)*words]
+		if g.Nodes[ni].Kind == cfg.KindEntry {
+			for w := range row {
+				row[w] = 0
+			}
+		} else {
+			copy(row, mr.top)
+		}
+	}
+
+	in := make([]uint64, words)
+	meet := make([]uint64, words)
+	for changed := true; changed; {
+		changed = false
+		for ni := 0; ni < n; ni++ {
+			if g.Nodes[ni].Kind == cfg.KindEntry {
+				continue
+			}
+			s.mustDefIn(loc, outs, ni, in)
+			// gen: the node's direct definite assignments, plus — for call
+			// nodes — the meet of the callees' MustMod rows.
+			gen := loc.genBits[ni*words : (ni+1)*words]
+			for w := 0; w < words; w++ {
+				in[w] |= gen[w]
+			}
+			if callees := loc.callAt[ni]; len(callees) > 0 {
+				copy(meet, mr.row(mr.mustmod, callees[0]))
+				for _, c := range callees[1:] {
+					andInto(meet, mr.row(mr.mustmod, c))
+				}
+				for w := 0; w < words; w++ {
+					in[w] |= meet[w]
+				}
+			}
+			row := outs[ni*words : (ni+1)*words]
+			if !rowEqual(in, row) {
+				copy(row, in)
+				changed = true
+			}
 		}
 	}
 }
@@ -574,195 +949,6 @@ func sameStrings(a, b []string) bool {
 	return true
 }
 
-// mustDefIn computes the set of globals definitely assigned before node i
-// begins, as the meet over its executable predecessors.
-func (s *solver) mustDefIn(g *cfg.Graph, outs []StringSet, i int) StringSet {
-	if g.Nodes[i].Kind == cfg.KindEntry {
-		return StringSet{}
-	}
-	var in StringSet
-	first := true
-	for _, e := range g.Preds[i] {
-		if e.Pseudo {
-			continue
-		}
-		if first {
-			in = outs[e.To].Clone()
-			first = false
-		} else {
-			in = intersect(in, outs[e.To])
-		}
-	}
-	if first {
-		return s.globals.Clone() // unreachable
-	}
-	return in
-}
-
-// nodeGlobalUses returns the globals referenced by the node: direct variable
-// references in its expressions, plus the callee's upward-exposed globals
-// for call nodes.
-func (s *solver) nodeGlobalUses(node *cfg.Node) StringSet {
-	uses := StringSet{}
-	if node.Stmt == nil {
-		return uses
-	}
-	for _, e := range lang.StmtExprs(node.Stmt) {
-		for _, v := range lang.ExprVars(e) {
-			if s.globals[v] {
-				uses[v] = true
-			}
-		}
-	}
-	if c, ok := node.Stmt.(*lang.CallStmt); ok {
-		for _, callee := range calleesOf(s.prog, c, s.addressTaken) {
-			for g := range s.curUEREF(callee) {
-				uses[g] = true
-			}
-		}
-	}
-	return uses
-}
-
-func (s *solver) addStmtModRef(fn *lang.FuncDecl, st lang.Stmt, gm, gr StringSet) {
-	refExpr := func(e lang.Expr) {
-		for _, v := range lang.ExprVars(e) {
-			if s.globals[v] {
-				gr[v] = true
-			}
-		}
-	}
-	switch x := st.(type) {
-	case *lang.DeclStmt:
-		refExpr(x.Init)
-	case *lang.AssignStmt:
-		refExpr(x.RHS)
-		if s.globals[x.LHS] {
-			gm[x.LHS] = true
-		}
-	case *lang.IfStmt:
-		refExpr(x.Cond)
-	case *lang.WhileStmt:
-		refExpr(x.Cond)
-	case *lang.ReturnStmt:
-		refExpr(x.Value)
-	case *lang.PrintfStmt:
-		for _, a := range x.Args {
-			refExpr(a)
-		}
-	case *lang.ScanfStmt:
-		if s.globals[x.Var] {
-			gm[x.Var] = true
-		}
-	case *lang.CallStmt:
-		for _, a := range x.Args {
-			refExpr(a)
-		}
-		if s.globals[x.Target] {
-			gm[x.Target] = true
-		}
-		for _, callee := range calleesOf(s.prog, x, s.addressTaken) {
-			for g := range s.curGMOD(callee) {
-				gm[g] = true
-			}
-			for g := range s.curGREF(callee) {
-				gr[g] = true
-			}
-		}
-	}
-}
-
-// mustDefOuts runs the intraprocedural forward must-assigned analysis for
-// fns[i] using the current MustMod summaries for callees, returning the
-// per-node "definitely assigned at node end" sets.
-func (s *solver) mustDefOuts(i int) []StringSet {
-	g := s.graphs[i]
-	n := len(g.Nodes)
-	// out[i] = set of globals definitely assigned on every path from entry
-	// to the end of node i. Initialize to top (all globals) except entry.
-	out := make([]StringSet, n)
-	for ni := range out {
-		out[ni] = s.globals.Clone()
-	}
-	out[g.Entry.ID] = StringSet{}
-
-	gen := func(node *cfg.Node) StringSet {
-		gs := StringSet{}
-		if node.Stmt == nil {
-			return gs
-		}
-		switch x := node.Stmt.(type) {
-		case *lang.AssignStmt:
-			if s.globals[x.LHS] {
-				gs[x.LHS] = true
-			}
-		case *lang.ScanfStmt:
-			if s.globals[x.Var] {
-				gs[x.Var] = true
-			}
-		case *lang.CallStmt:
-			if s.globals[x.Target] {
-				gs[x.Target] = true
-			}
-			callees := calleesOf(s.prog, x, s.addressTaken)
-			if len(callees) > 0 {
-				meet := s.curMustMod(callees[0]).Clone()
-				for _, c := range callees[1:] {
-					meet = intersect(meet, s.curMustMod(c))
-				}
-				for v := range meet {
-					gs[v] = true
-				}
-			}
-		}
-		return gs
-	}
-
-	for changed := true; changed; {
-		changed = false
-		for ni := 0; ni < n; ni++ {
-			node := g.Nodes[ni]
-			if node.Kind == cfg.KindEntry {
-				continue
-			}
-			var in StringSet
-			first := true
-			for _, e := range g.Preds[ni] {
-				if e.Pseudo {
-					continue
-				}
-				if first {
-					in = out[e.To].Clone()
-					first = false
-				} else {
-					in = intersect(in, out[e.To])
-				}
-			}
-			if first { // unreachable node
-				in = s.globals.Clone()
-			}
-			for v := range gen(node) {
-				in[v] = true
-			}
-			if !in.Equal(out[ni]) {
-				out[ni] = in
-				changed = true
-			}
-		}
-	}
-	return out
-}
-
-func intersect(a, b StringSet) StringSet {
-	out := StringSet{}
-	for k := range a {
-		if b[k] {
-			out[k] = true
-		}
-	}
-	return out
-}
-
 // addressTakenFuncs returns the functions whose address is taken anywhere in
 // the program (assigned to a fnptr), sorted for determinism.
 func addressTakenFuncs(prog *lang.Program) []string {
@@ -781,12 +967,15 @@ func addressTakenFuncs(prog *lang.Program) []string {
 	return set.Sorted()
 }
 
-// calleesOf resolves the possible callees of a call statement: the named
-// function for direct calls, or every address-taken function for indirect
-// calls.
-func calleesOf(prog *lang.Program, c *lang.CallStmt, addressTaken []string) []string {
-	if !c.Indirect {
-		return []string{c.Callee}
+// resolveAddressTaken maps the address-taken function names to procedure
+// indexes (dropping names with no declaration, as the map view did).
+func resolveAddressTaken(prog *lang.Program, idx map[string]int) []int {
+	names := addressTakenFuncs(prog)
+	out := make([]int, 0, len(names))
+	for _, name := range names {
+		if pi, ok := idx[name]; ok {
+			out = append(out, pi)
+		}
 	}
-	return addressTaken
+	return out
 }

@@ -19,10 +19,10 @@ void mid() { leaf(); }
 int main() { mid(); return 0; }
 `)
 	for _, fn := range []string{"leaf", "mid", "main"} {
-		if !mr.GMOD[fn]["g"] {
+		if !mr.GMOD(fn)["g"] {
 			t.Errorf("GMOD(%s) missing g", fn)
 		}
-		if !mr.MustMod[fn]["g"] {
+		if !mr.MustMod(fn)["g"] {
 			t.Errorf("MustMod(%s) missing g (unconditional chain)", fn)
 		}
 	}
@@ -36,13 +36,13 @@ void both(int c) {
 }
 int main() { both(1); return 0; }
 `)
-	if !mr.MustMod["both"]["g"] {
+	if !mr.MustMod("both")["g"] {
 		t.Error("g assigned on both branches: MustMod must contain it")
 	}
-	if mr.MustMod["both"]["h"] {
+	if mr.MustMod("both")["h"] {
 		t.Error("h assigned on one branch only: MustMod must not contain it")
 	}
-	if !mr.GMOD["both"]["h"] {
+	if !mr.GMOD("both")["h"] {
 		t.Error("GMOD must contain h")
 	}
 }
@@ -55,7 +55,7 @@ void loopy(int n) {
 }
 int main() { loopy(3); return 0; }
 `)
-	if mr.MustMod["loopy"]["g"] {
+	if mr.MustMod("loopy")["g"] {
 		t.Error("loop body may not execute: g must not be in MustMod")
 	}
 	if !mr.FormalInGlobals("loopy")["g"] {
@@ -74,7 +74,7 @@ void rec(int n) {
 }
 int main() { rec(2); return 0; }
 `)
-	if !mr.MustMod["rec"]["g"] {
+	if !mr.MustMod("rec")["g"] {
 		t.Error("rec assigns g on every path; MustMod must contain g")
 	}
 }
@@ -89,10 +89,10 @@ void writerThenReader() { g = 1; int x = reader(); }
 void readerFirst() { int x = reader(); g = 1; }
 int main() { writerThenReader(); readerFirst(); return 0; }
 `)
-	if mr.UEREF["writerThenReader"]["g"] {
+	if mr.UEREF("writerThenReader")["g"] {
 		t.Error("g defined before the reading call: not upward-exposed")
 	}
-	if !mr.UEREF["readerFirst"]["g"] {
+	if !mr.UEREF("readerFirst")["g"] {
 		t.Error("g read by callee before any def: upward-exposed")
 	}
 }
@@ -103,8 +103,8 @@ int g;
 void read() { scanf("%d", &g); }
 int main() { read(); printf("%d", g); return 0; }
 `)
-	if !mr.GMOD["read"]["g"] || !mr.MustMod["read"]["g"] {
-		t.Errorf("scanf into global: GMOD=%v MustMod=%v", mr.GMOD["read"].Sorted(), mr.MustMod["read"].Sorted())
+	if !mr.GMOD("read")["g"] || !mr.MustMod("read")["g"] {
+		t.Errorf("scanf into global: GMOD=%v MustMod=%v", mr.GMOD("read").Sorted(), mr.MustMod("read").Sorted())
 	}
 }
 
@@ -122,11 +122,11 @@ int main() {
 }
 `)
 	// Indirect call may reach any address-taken function.
-	if !mr.GMOD["main"]["g"] || !mr.GMOD["main"]["h"] {
-		t.Errorf("GMOD(main) = %v, want g and h via the indirect call", mr.GMOD["main"].Sorted())
+	if !mr.GMOD("main")["g"] || !mr.GMOD("main")["h"] {
+		t.Errorf("GMOD(main) = %v, want g and h via the indirect call", mr.GMOD("main").Sorted())
 	}
 	// But must-mod cannot assume a particular target.
-	if mr.MustMod["main"]["h"] {
+	if mr.MustMod("main")["h"] {
 		t.Error("MustMod(main) must not contain h (the call may hit f1)")
 	}
 }

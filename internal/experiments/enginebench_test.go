@@ -84,14 +84,30 @@ func TestRunEngineBenchSmoke(t *testing.T) {
 		t.Errorf("readout allocs per op = %v, want <= 8 (arena-backed readout regressed)", eb.ReadoutAllocsPerOp)
 	}
 	for _, w := range []string{"1", "2", "4"} {
-		if eb.BatchNsByWorkers[w] <= 0 || eb.ColdBuildNsByWorkers[w] <= 0 {
+		if eb.BatchNsByWorkers[w].Ns <= 0 || eb.ColdBuildNsByWorkers[w].Ns <= 0 {
 			t.Errorf("worker sweep row %q missing: batch=%v cold=%v", w, eb.BatchNsByWorkers[w], eb.ColdBuildNsByWorkers[w])
 		}
+		if eb.BatchNsByWorkers[w].GoMaxProcs <= 0 || eb.ColdBuildNsByWorkers[w].GoMaxProcs <= 0 {
+			t.Errorf("worker sweep row %q lacks its effective gomaxprocs: batch=%v cold=%v", w, eb.BatchNsByWorkers[w], eb.ColdBuildNsByWorkers[w])
+		}
 	}
-	if eb.ColdBuildParallelSpeedup <= 0 {
-		t.Errorf("cold build parallel speedup = %v, want > 0", eb.ColdBuildParallelSpeedup)
+	// Honest parallel reporting: the speedup exists iff the 4-worker row
+	// really had >= 4 processors; otherwise it must be null, never a
+	// number measured on fewer cores.
+	if eb.ColdBuildNsByWorkers["4"].GoMaxProcs >= 4 {
+		if eb.ColdBuildParallelSpeedup == nil || *eb.ColdBuildParallelSpeedup <= 0 {
+			t.Errorf("cold build parallel speedup = %v, want > 0 at gomaxprocs >= 4", eb.ColdBuildParallelSpeedup)
+		}
+	} else if eb.ColdBuildParallelSpeedup != nil {
+		t.Errorf("cold build parallel speedup = %v at gomaxprocs < 4, want null", *eb.ColdBuildParallelSpeedup)
+	}
+	if eb.WorkersRequested <= 0 {
+		t.Errorf("batch_workers_requested = %d, want the resolved pool size, not the raw flag", eb.WorkersRequested)
 	}
 	if eb.ColdBuildPhases == nil || eb.ColdBuildPhases.ModRef <= 0 {
 		t.Errorf("cold build phases not measured: %+v", eb.ColdBuildPhases)
+	}
+	if eb.ColdBuildPhases != nil && (eb.ColdBuildPhases.ModRefLocal <= 0 || eb.ColdBuildPhases.ModRefFixpoint <= 0) {
+		t.Errorf("mod/ref sub-phases not measured: %+v", eb.ColdBuildPhases)
 	}
 }

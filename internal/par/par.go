@@ -21,6 +21,73 @@ func Workers(requested int) int {
 	return requested
 }
 
+// ForWeighted runs f(i) for every i in [0, n) like For, but instead of
+// handing indexes to workers one at a time it statically partitions them
+// into at most `workers` contiguous chunks of near-equal total weight
+// (weight(i) is the caller's cost estimate for item i, e.g. a procedure's
+// statement count) and runs each chunk on one goroutine. This keeps the
+// parallel split coarse: a level of many tiny work items costs a handful
+// of goroutine handoffs instead of one mutex round-trip per item, which
+// is what lets fine-grained fixpoint schedules actually win on real
+// cores. The partition depends only on (workers, n, weights), never on
+// scheduling, so callers with order-independent work items (unique
+// fixpoints, per-index output slots) stay deterministic at every worker
+// count. workers <= 1 (or n <= 1) runs everything inline on the caller's
+// goroutine.
+func ForWeighted(workers, n int, weight func(i int) int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	totalW := 0
+	for i := 0; i < n; i++ {
+		totalW += weight(i)
+	}
+	// Greedy cut: each chunk closes once it reaches its fair share of the
+	// remaining weight, so trailing chunks stay balanced even when early
+	// items are heavy.
+	type span struct{ start, end int }
+	chunks := make([]span, 0, workers)
+	start, acc, remaining := 0, 0, totalW
+	for i := 0; i < n; i++ {
+		acc += weight(i)
+		chunksLeft := workers - len(chunks)
+		if chunksLeft > 1 && acc*chunksLeft >= remaining && n-(i+1) >= chunksLeft-1 {
+			chunks = append(chunks, span{start, i + 1})
+			start = i + 1
+			remaining -= acc
+			acc = 0
+		}
+	}
+	chunks = append(chunks, span{start, n})
+	if len(chunks) <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range chunks {
+		wg.Add(1)
+		go func(c span) {
+			defer wg.Done()
+			for i := c.start; i < c.end; i++ {
+				f(i)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
 // For runs f(i) for every i in [0, n), fanning the indexes out across at
 // most workers goroutines (after Workers normalization, and never more
 // than n). It returns when every call has completed. f must not panic;

@@ -429,7 +429,9 @@ func computeBuildSigsFromHashes(prog *lang.Program, mr *dataflow.ModRef, hashes 
 
 // ifaceHash hashes the parts of a procedure's interface its callers' PDGs
 // depend on: return-ness, arity, and the mod/ref global sets that shape
-// actual-in/actual-out vertices and must-kill information.
+// actual-in/actual-out vertices and must-kill information. The sets are
+// hashed by sorted name (the ModRef accessors' order), not interned ID,
+// so signatures stay comparable across versions whose interners differ.
 func ifaceHash(fn *lang.FuncDecl, mr *dataflow.ModRef) uint64 {
 	h := fnv.New64a()
 	if fn.ReturnsValue {
@@ -438,9 +440,9 @@ func ifaceHash(fn *lang.FuncDecl, mr *dataflow.ModRef) uint64 {
 		h.Write([]byte{0})
 	}
 	h.Write([]byte{byte(len(fn.Params))})
-	writeSet(h, mr.FormalInGlobals(fn.Name))
-	writeSet(h, mr.GMOD[fn.Name])
-	writeSet(h, mr.MustMod[fn.Name])
+	writeNames(h, mr.FormalInGlobalNames(fn.Name))
+	writeNames(h, mr.GMODNames(fn.Name))
+	writeNames(h, mr.MustModNames(fn.Name))
 	return h.Sum64()
 }
 
@@ -468,8 +470,8 @@ func writeU64(h io.Writer, v uint64) {
 	h.Write(buf[:])
 }
 
-func writeSet(h io.Writer, s dataflow.StringSet) {
-	for _, k := range s.Sorted() {
+func writeNames(h io.Writer, names []string) {
+	for _, k := range names {
 		h.Write([]byte(k))
 		h.Write([]byte{0})
 	}

@@ -64,13 +64,17 @@ func BuildWorkers(prog *lang.Program, workers int) (*Graph, error) {
 	// Bodies: each procedure's CFG, control dependence, and reaching
 	// definitions run independently into a buffer; the deterministic merge
 	// below replays them in procedure order, reproducing the exact vertex,
-	// site, and edge insertion order of a fully sequential build.
+	// site, and edge insertion order of a fully sequential build. The
+	// fan-out is chunked by statement count so small procedures ride
+	// along with big ones instead of each paying a scheduling round-trip.
 	skelBase := VertexID(len(b.g.Vertices))
 	bufs := make([]bodyBuf, len(b.g.Procs))
-	par.For(workers, len(b.g.Procs), func(i int) {
-		bufs[i].skelBase = skelBase
-		bufs[i].err = b.buildBody(b.g.Procs[i], &bufs[i])
-	})
+	par.ForWeighted(workers, len(b.g.Procs),
+		func(i int) int { return len(b.g.Procs[i].Fn.Stmts()) },
+		func(i int) {
+			bufs[i].skelBase = skelBase
+			bufs[i].err = b.buildBody(b.g.Procs[i], &bufs[i])
+		})
 	for i, p := range b.g.Procs {
 		if err := bufs[i].err; err != nil {
 			return nil, err
@@ -80,12 +84,16 @@ func BuildWorkers(prog *lang.Program, workers int) (*Graph, error) {
 	tPDG := time.Now()
 	b.connectProcs()
 	tConnect := time.Now()
+	mrStats := mr.Stats()
 	b.g.buildStats = BuildStats{
-		Workers: workers,
-		ModRef:  tModRef.Sub(t0),
-		PDG:     tPDG.Sub(tModRef),
-		Connect: tConnect.Sub(tPDG),
-		Total:   tConnect.Sub(t0),
+		Workers:        workers,
+		ModRef:         tModRef.Sub(t0),
+		PDG:            tPDG.Sub(tModRef),
+		Connect:        tConnect.Sub(tPDG),
+		Total:          tConnect.Sub(t0),
+		ModRefIntern:   mrStats.Intern,
+		ModRefLocal:    mrStats.Local,
+		ModRefFixpoint: mrStats.Fixpoint,
 	}
 	return b.g, nil
 }
@@ -230,7 +238,7 @@ func (b *builder) buildProcSkeleton(p *Proc) {
 		})
 		p.FormalIns = append(p.FormalIns, v)
 	}
-	for _, gname := range b.mr.FormalInGlobals(fn.Name).Sorted() {
+	for _, gname := range b.mr.FormalInGlobalNames(fn.Name) {
 		v := b.g.AddVertex(&Vertex{
 			Kind: KindFormalIn, Proc: p.Index, Site: -1, Param: NoParam, Var: gname,
 			Label: fmt.Sprintf("%s: global %s in", fn.Name, gname),
@@ -245,7 +253,7 @@ func (b *builder) buildProcSkeleton(p *Proc) {
 		})
 		p.FormalOuts = append(p.FormalOuts, v)
 	}
-	for _, gname := range b.mr.GMOD[fn.Name].Sorted() {
+	for _, gname := range b.mr.GMODNames(fn.Name) {
 		v := b.g.AddVertex(&Vertex{
 			Kind: KindFormalOut, Proc: p.Index, Site: -1, Param: NoParam, Var: gname,
 			Label: fmt.Sprintf("%s: global %s out", fn.Name, gname),
@@ -438,7 +446,7 @@ func (b *builder) buildCallSite(p *Proc, ni *nodeInfo, x *lang.CallStmt, em body
 			ni.uses = append(ni.uses, useEvent{vertex: ai, vr: vr})
 		}
 	}
-	for _, gname := range b.mr.FormalInGlobals(x.Callee).Sorted() {
+	for _, gname := range b.mr.FormalInGlobalNames(x.Callee) {
 		ai := em.addVertex(Vertex{Kind: KindActualIn, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " in"})
 		site.ActualIns = append(site.ActualIns, ai)
 		em.addEdge(cv, ai, EdgeControl)
@@ -451,12 +459,11 @@ func (b *builder) buildCallSite(p *Proc, ni *nodeInfo, x *lang.CallStmt, em body
 		em.addEdge(cv, ao, EdgeControl)
 		ni.defs = append(ni.defs, defEvent{vertex: ao, vr: x.Target, kills: true})
 	}
-	mustMod := b.mr.MustMod[x.Callee]
-	for _, gname := range b.mr.GMOD[x.Callee].Sorted() {
+	for _, gname := range b.mr.GMODNames(x.Callee) {
 		ao := em.addVertex(Vertex{Kind: KindActualOut, Proc: p.Index, Stmt: x, Site: site.ID, Param: NoParam, Var: gname, Label: "global " + gname + " out"})
 		site.ActualOuts = append(site.ActualOuts, ao)
 		em.addEdge(cv, ao, EdgeControl)
-		ni.defs = append(ni.defs, defEvent{vertex: ao, vr: gname, kills: mustMod[gname]})
+		ni.defs = append(ni.defs, defEvent{vertex: ao, vr: gname, kills: b.mr.MustModHas(x.Callee, gname)})
 	}
 }
 

@@ -532,6 +532,13 @@ type BuildStats struct {
 	PDG     time.Duration
 	Connect time.Duration
 	Total   time.Duration
+	// ModRefIntern/Local/Fixpoint split the dense mod/ref solve: variable
+	// interning and call-graph setup, per-procedure CFG + effect-bit
+	// extraction, and the word-wise summary propagation. Their sum is
+	// less than ModRef, which also covers build-signature hashing.
+	ModRefIntern   time.Duration
+	ModRefLocal    time.Duration
+	ModRefFixpoint time.Duration
 }
 
 // BuildStats reports the graph's build-phase timings (zero for graphs not

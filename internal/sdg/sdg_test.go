@@ -30,21 +30,21 @@ func TestModRefFig1(t *testing.T) {
 	prog := lang.MustParse(fig1Src)
 	mr := dataflow.ComputeModRef(prog)
 	for _, g := range []string{"g1", "g2", "g3"} {
-		if !mr.GMOD["p"][g] {
+		if !mr.GMOD("p")[g] {
 			t.Errorf("GMOD(p) missing %s", g)
 		}
-		if !mr.MustMod["p"][g] {
+		if !mr.MustMod("p")[g] {
 			t.Errorf("MustMod(p) missing %s", g)
 		}
 	}
-	if len(mr.UEREF["p"]) != 0 {
-		t.Errorf("UEREF(p) = %v, want empty (params only feed globals)", mr.UEREF["p"].Sorted())
+	if len(mr.UEREF("p")) != 0 {
+		t.Errorf("UEREF(p) = %v, want empty (params only feed globals)", mr.UEREF("p").Sorted())
 	}
 	if got := mr.FormalInGlobals("p"); len(got) != 0 {
 		t.Errorf("FormalInGlobals(p) = %v, want empty (paper Fig. 3 has only a and b formal-ins)", got.Sorted())
 	}
-	if !mr.GMOD["main"]["g1"] || !mr.MustMod["main"]["g3"] {
-		t.Errorf("main summaries wrong: GMOD=%v MustMod=%v", mr.GMOD["main"].Sorted(), mr.MustMod["main"].Sorted())
+	if !mr.GMOD("main")["g1"] || !mr.MustMod("main")["g3"] {
+		t.Errorf("main summaries wrong: GMOD=%v MustMod=%v", mr.GMOD("main").Sorted(), mr.MustMod("main").Sorted())
 	}
 }
 
@@ -62,10 +62,10 @@ int main() {
 `
 	prog := lang.MustParse(src)
 	mr := dataflow.ComputeModRef(prog)
-	if !mr.GMOD["maybe"]["g"] {
+	if !mr.GMOD("maybe")["g"] {
 		t.Error("GMOD(maybe) missing g")
 	}
-	if mr.MustMod["maybe"]["g"] {
+	if mr.MustMod("maybe")["g"] {
 		t.Error("MustMod(maybe) must not contain g (conditional assignment)")
 	}
 	// g in GMOD−MustMod must yield a formal-in so the old value can pass
@@ -88,10 +88,10 @@ int main() {
 `
 	prog := lang.MustParse(src)
 	mr := dataflow.ComputeModRef(prog)
-	if !mr.UEREF["reader"]["g"] {
+	if !mr.UEREF("reader")["g"] {
 		t.Error("UEREF(reader) missing g")
 	}
-	if !mr.UEREF["main"]["g"] {
+	if !mr.UEREF("main")["g"] {
 		t.Error("UEREF(main) missing g (exposed through call)")
 	}
 }

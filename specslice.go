@@ -438,11 +438,18 @@ func (e *Engine) Warm() error { return e.s.eng.Warm() }
 // width the parallel phases ran at. Advanced engines (version chains)
 // report zeros — their graphs were never built from scratch.
 type BuildStats struct {
-	Workers   int   `json:"workers"`
-	ModRefNS  int64 `json:"modref_ns"`
-	PDGNS     int64 `json:"pdg_ns"`
-	ConnectNS int64 `json:"connect_ns"`
-	TotalNS   int64 `json:"total_ns"`
+	Workers  int   `json:"workers"`
+	ModRefNS int64 `json:"modref_ns"`
+	// The mod/ref sub-phases of the dense bitset solver: variable
+	// interning, per-procedure local effect extraction, and the
+	// bottom-up fixpoint over the call-graph condensation. Their sum is
+	// below ModRefNS, which also covers build-signature hashing.
+	ModRefInternNS   int64 `json:"modref_intern_ns"`
+	ModRefLocalNS    int64 `json:"modref_local_ns"`
+	ModRefFixpointNS int64 `json:"modref_fixpoint_ns"`
+	PDGNS            int64 `json:"pdg_ns"`
+	ConnectNS        int64 `json:"connect_ns"`
+	TotalNS          int64 `json:"total_ns"`
 }
 
 // Add accumulates o into s (aggregation across builds); the worker width
@@ -452,6 +459,9 @@ func (s *BuildStats) Add(o BuildStats) {
 		s.Workers = o.Workers
 	}
 	s.ModRefNS += o.ModRefNS
+	s.ModRefInternNS += o.ModRefInternNS
+	s.ModRefLocalNS += o.ModRefLocalNS
+	s.ModRefFixpointNS += o.ModRefFixpointNS
 	s.PDGNS += o.PDGNS
 	s.ConnectNS += o.ConnectNS
 	s.TotalNS += o.TotalNS
@@ -461,11 +471,14 @@ func (s *BuildStats) Add(o BuildStats) {
 func (e *Engine) BuildStats() BuildStats {
 	bs := e.s.eng.BuildStats()
 	return BuildStats{
-		Workers:   bs.Workers,
-		ModRefNS:  int64(bs.ModRef),
-		PDGNS:     int64(bs.PDG),
-		ConnectNS: int64(bs.Connect),
-		TotalNS:   int64(bs.Total),
+		Workers:          bs.Workers,
+		ModRefNS:         int64(bs.ModRef),
+		ModRefInternNS:   int64(bs.ModRefIntern),
+		ModRefLocalNS:    int64(bs.ModRefLocal),
+		ModRefFixpointNS: int64(bs.ModRefFixpoint),
+		PDGNS:            int64(bs.PDG),
+		ConnectNS:        int64(bs.Connect),
+		TotalNS:          int64(bs.Total),
 	}
 }
 
