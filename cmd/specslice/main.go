@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -51,6 +52,8 @@ func serve(args []string) {
 	maxProgramKB := fs.Int64("max-program-kb", 1024, "largest accepted program source in KiB")
 	maxCriteria := fs.Int("max-criteria", 256, "largest accepted criterion batch")
 	workers := fs.Int("workers", 0, "per-batch worker-pool size (0 = GOMAXPROCS)")
+	storeDir := fs.String("store-dir", "", "directory for the persistent snapshot tier (empty = RAM cache only)")
+	storeBudgetBytes := fs.Int64("store-budget-bytes", 0, "disk budget for the snapshot tier; oldest segments dropped past it (0 = unlimited)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: specslice serve [flags]")
@@ -58,17 +61,31 @@ func serve(args []string) {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Config{
-		CacheMaxEntries: *cacheEntries,
-		CacheMaxBytes:   *cacheMB << 20,
-		MaxProgramBytes: *maxProgramKB << 10,
-		MaxCriteria:     *maxCriteria,
-		Workers:         *workers,
+	srv, err := server.New(server.Config{
+		CacheMaxEntries:  *cacheEntries,
+		CacheMaxBytes:    *cacheMB << 20,
+		MaxProgramBytes:  *maxProgramKB << 10,
+		MaxCriteria:      *maxCriteria,
+		Workers:          *workers,
+		StoreDir:         *storeDir,
+		StoreBudgetBytes: *storeBudgetBytes,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("specslice: serving on %s (cache: %d entries, %d MiB)", *addr, *cacheEntries, *cacheMB)
-	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Log the resolved address (not the flag) so :0 reports its bound port —
+	// the restart integration test discovers the port from this line.
+	if *storeDir != "" {
+		log.Printf("specslice: store %s (budget %d bytes)", *storeDir, *storeBudgetBytes)
+	}
+	log.Printf("specslice: listening on %s (cache: %d entries, %d MiB)", ln.Addr(), *cacheEntries, *cacheMB)
+	if err := srv.Serve(ctx, ln); err != nil {
 		fatal(err)
 	}
 	log.Printf("specslice: drained, bye")

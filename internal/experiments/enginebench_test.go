@@ -36,6 +36,9 @@ var engineBenchRequiredKeys = []string{
 	"cold_build_ns_by_workers",
 	"cold_build_parallel_speedup",
 	"cold_build_phase_ns",
+	"snapshot_encode_ns",
+	"warm_from_disk_ns_per_op",
+	"restart_recovery_ns",
 }
 
 func TestEngineBenchSchemaKeys(t *testing.T) {
@@ -109,5 +112,14 @@ func TestRunEngineBenchSmoke(t *testing.T) {
 	}
 	if eb.ColdBuildPhases != nil && (eb.ColdBuildPhases.ModRefLocal <= 0 || eb.ColdBuildPhases.ModRefFixpoint <= 0) {
 		t.Errorf("mod/ref sub-phases not measured: %+v", eb.ColdBuildPhases)
+	}
+	if eb.SnapshotEncodeNs <= 0 || eb.WarmFromDiskNsPerOp <= 0 || eb.RestartRecoveryNs <= 0 {
+		t.Errorf("persistence metrics not measured: encode=%d disk=%v recovery=%d",
+			eb.SnapshotEncodeNs, eb.WarmFromDiskNsPerOp, eb.RestartRecoveryNs)
+	}
+	// The whole point of the disk tier: loading a snapshot beats rebuilding.
+	if eb.WarmFromDiskNsPerOp >= eb.AdvanceColdNsPerOp {
+		t.Errorf("disk-warm load %.0fns not faster than sequential cold build %.0fns",
+			eb.WarmFromDiskNsPerOp, eb.AdvanceColdNsPerOp)
 	}
 }

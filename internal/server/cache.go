@@ -46,19 +46,44 @@ func FamilyKey(sortedProcNames []string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// BuildSource reports how a cache miss obtained its engine: analyzed from
+// scratch, advanced from a version-chain ancestor, or decoded warm from
+// the persistent disk tier.
+type BuildSource int
+
+const (
+	BuildCold BuildSource = iota
+	BuildAdvance
+	BuildDisk
+)
+
+func (b BuildSource) String() string {
+	switch b {
+	case BuildAdvance:
+		return "advance"
+	case BuildDisk:
+		return "disk"
+	default:
+		return "cold"
+	}
+}
+
 // CacheStats is a snapshot of the engine cache's counters. The counters
 // satisfy Hits+Misses == lookups, Builds+BuildErrors+Deduped == Misses,
-// and Advances+ColdBuilds == Builds, which the server load tests assert
-// under concurrency.
+// and Advances+ColdBuilds+DiskHits == Builds, which the server load tests
+// assert under concurrency. Hits counts RAM-warm lookups only; DiskHits
+// counts misses served by decoding a snapshot from the disk tier.
 type CacheStats struct {
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
 	Deduped int64 `json:"builds_deduped"` // misses that joined an in-flight build
 	Builds  int64 `json:"builds"`         // completed engine builds
 	// Advances counts builds served by advancing a version-chain ancestor;
-	// ColdBuilds counts builds that analyzed the program from scratch.
+	// ColdBuilds counts builds that analyzed the program from scratch;
+	// DiskHits counts builds served warm from the persistent store.
 	Advances    int64 `json:"advances"`
 	ColdBuilds  int64 `json:"cold_builds"`
+	DiskHits    int64 `json:"disk_hits"`
 	BuildErrors int64 `json:"build_errors"`
 	Evictions   int64 `json:"evictions"`
 	InFlight    int64 `json:"in_flight_builds"` // gauge
@@ -93,10 +118,10 @@ type cacheEntry struct {
 
 // buildCall is the singleflight cell for one in-flight engine build.
 type buildCall struct {
-	done     chan struct{}
-	eng      *specslice.Engine
-	advanced bool
-	err      error
+	done   chan struct{}
+	eng    *specslice.Engine
+	source BuildSource
+	err    error
 }
 
 // NewEngineCache returns a cache evicting past maxEntries entries or
@@ -117,24 +142,24 @@ func NewEngineCache(maxEntries int, maxBytes int64) *EngineCache {
 // miss. Build runs outside the cache lock; concurrent misses on one key
 // share a single build. On a miss whose family has a cached member, that
 // member's engine is passed to build as ancestor — the callback advances
-// it instead of cold-building and reports which path it took. Build
-// errors are returned to every waiter and are not cached — the next
-// request retries.
-func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Engine) (*specslice.Engine, bool, error)) (eng *specslice.Engine, hit, advanced bool, err error) {
+// it instead of cold-building and reports which path it took (advance,
+// disk-warm load, or cold build). Build errors are returned to every
+// waiter and are not cached — the next request retries.
+func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Engine) (*specslice.Engine, BuildSource, error)) (eng *specslice.Engine, hit bool, source BuildSource, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
 		eng := el.Value.(*cacheEntry).eng
 		c.mu.Unlock()
-		return eng, true, false, nil
+		return eng, true, BuildCold, nil
 	}
 	c.stats.Misses++
 	if call, ok := c.building[key]; ok {
 		c.stats.Deduped++
 		c.mu.Unlock()
 		<-call.done
-		return call.eng, false, call.advanced, call.err
+		return call.eng, false, call.source, call.err
 	}
 	call := &buildCall{done: make(chan struct{})}
 	c.building[key] = call
@@ -152,7 +177,7 @@ func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Eng
 	c.mu.Unlock()
 
 	var bytes int64
-	call.eng, call.advanced, bytes, call.err = runBuild(ancestor, build)
+	call.eng, call.source, bytes, call.err = runBuild(ancestor, build)
 
 	c.mu.Lock()
 	delete(c.building, key)
@@ -161,9 +186,12 @@ func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Eng
 		c.stats.BuildErrors++
 	} else {
 		c.stats.Builds++
-		if call.advanced {
+		switch call.source {
+		case BuildAdvance:
 			c.stats.Advances++
-		} else {
+		case BuildDisk:
+			c.stats.DiskHits++
+		default:
 			c.stats.ColdBuilds++
 		}
 		el := c.lru.PushFront(&cacheEntry{key: key, family: family, eng: call.eng, bytes: bytes})
@@ -180,7 +208,7 @@ func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Eng
 	c.stats.Entries = c.lru.Len()
 	c.mu.Unlock()
 	close(call.done)
-	return call.eng, false, call.advanced, call.err
+	return call.eng, false, call.source, call.err
 }
 
 // runBuild runs the build plus the engine warm-up (Footprint warms every
@@ -190,17 +218,17 @@ func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Eng
 // it per-connection, so the server survives) would leave the key's
 // buildCall registered forever with an unclosed done channel — wedging
 // every later request for that program.
-func runBuild(ancestor *specslice.Engine, build func(*specslice.Engine) (*specslice.Engine, bool, error)) (eng *specslice.Engine, advanced bool, bytes int64, err error) {
+func runBuild(ancestor *specslice.Engine, build func(*specslice.Engine) (*specslice.Engine, BuildSource, error)) (eng *specslice.Engine, source BuildSource, bytes int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			eng, advanced, bytes, err = nil, false, 0, fmt.Errorf("server: engine build panicked: %v", r)
+			eng, source, bytes, err = nil, BuildCold, 0, fmt.Errorf("server: engine build panicked: %v", r)
 		}
 	}()
-	eng, advanced, err = build(ancestor)
+	eng, source, err = build(ancestor)
 	if err != nil {
-		return nil, false, 0, err
+		return nil, BuildCold, 0, err
 	}
-	return eng, advanced, eng.Footprint(), nil
+	return eng, source, eng.Footprint(), nil
 }
 
 func (c *EngineCache) overBudget() bool {

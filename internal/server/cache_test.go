@@ -32,9 +32,9 @@ func buildEngine(t *testing.T, src string, builds *atomic.Int64, delay time.Dura
 // tests exercise pure LRU/singleflight semantics; chain behavior has its
 // own tests (version_test.go).
 func get(cache *EngineCache, key string, build func() (*specslice.Engine, error)) (*specslice.Engine, bool, error) {
-	eng, hit, _, err := cache.Get(key, "fam:"+key, func(*specslice.Engine) (*specslice.Engine, bool, error) {
+	eng, hit, _, err := cache.Get(key, "fam:"+key, func(*specslice.Engine) (*specslice.Engine, BuildSource, error) {
 		e, err := build()
-		return e, false, err
+		return e, BuildCold, err
 	})
 	return eng, hit, err
 }

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"specslice/internal/workload"
+)
+
+// TestRestartRecovery is the end-to-end crash-restart gate: it runs the
+// real specslice binary, builds an engine over HTTP, kills the process
+// with SIGKILL (no drain, no clean-close marker — the store must recover
+// from its WAL and segment CRCs alone), restarts it on the same
+// -store-dir, and asserts the program is served disk-warm with
+// byte-identical slices.
+func TestRestartRecovery(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics are POSIX")
+	}
+	if testing.Short() {
+		t.Skip("builds and execs the real binary")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "specslice")
+	build := exec.Command("go", "build", "-o", bin, "specslice/cmd/specslice")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(tmp, "store")
+
+	req := SliceRequest{
+		Program: workload.Fig1Source,
+		Criteria: []CriterionRequest{
+			{Kind: "printf", Proc: "main"},
+			{Kind: "printf", Proc: "main", Mode: "mono"},
+		},
+	}
+
+	// Generation 1: cold build, then SIGKILL mid-flight.
+	proc1, url1 := startServe(t, bin, storeDir)
+	resp1 := mustSlice(t, url1, req)
+	if resp1.CacheHit || resp1.DiskWarm {
+		t.Fatalf("gen1: hit=%v diskwarm=%v, want cold", resp1.CacheHit, resp1.DiskWarm)
+	}
+	// The snapshot is written behind the request path; wait for it to land
+	// on disk before pulling the plug.
+	waitForStoreEntries(t, url1, 1)
+	if err := proc1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc1.Wait()
+
+	// Generation 2: same store directory, fresh process and RAM cache.
+	proc2, url2 := startServe(t, bin, storeDir)
+	defer func() {
+		proc2.Process.Signal(syscall.SIGKILL)
+		proc2.Wait()
+	}()
+	resp2 := mustSlice(t, url2, req)
+	if resp2.CacheHit || !resp2.DiskWarm {
+		t.Fatalf("gen2: hit=%v diskwarm=%v, want a disk-warm miss", resp2.CacheHit, resp2.DiskWarm)
+	}
+	if resp2.ProgramKey != resp1.ProgramKey {
+		t.Fatalf("program keys differ across restart: %s vs %s", resp2.ProgramKey, resp1.ProgramKey)
+	}
+	for i := range resp1.Results {
+		if resp1.Results[i].Error != "" || resp2.Results[i].Error != "" {
+			t.Fatalf("result %d errored: gen1=%q gen2=%q", i, resp1.Results[i].Error, resp2.Results[i].Error)
+		}
+		if resp1.Results[i].Source != resp2.Results[i].Source {
+			t.Errorf("result %d not byte-identical across crash restart:\n--- gen1\n%s\n--- gen2\n%s",
+				i, resp1.Results[i].Source, resp2.Results[i].Source)
+		}
+	}
+	st := getStats(t, url2)
+	if st.Store == nil {
+		t.Fatal("gen2 stats missing store block")
+	}
+	if st.Store.RecoveredEntries == 0 {
+		t.Errorf("gen2 recovered nothing: %+v", st.Store)
+	}
+	if st.Store.RecoveredClean {
+		t.Error("SIGKILL restart reported a clean shutdown")
+	}
+	if st.Cache.DiskHits != 1 {
+		t.Errorf("gen2 disk hits = %d, want 1", st.Cache.DiskHits)
+	}
+}
+
+// startServe launches `bin serve -addr 127.0.0.1:0 -store-dir dir` and
+// returns the process plus the base URL parsed from its "listening on"
+// log line.
+func startServe(t *testing.T, bin, storeDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-store-dir", storeDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrRe := regexp.MustCompile(`listening on ([0-9.:]+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrc <- m[1]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server never logged its listen address")
+		return nil, ""
+	}
+}
+
+func mustSlice(t *testing.T, url string, req SliceRequest) SliceResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/slice", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/slice: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, buf.String())
+	}
+	var out SliceResponse
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+// waitForStoreEntries polls /v1/stats until the write-behind snapshot has
+// reached disk (or times out).
+func waitForStoreEntries(t *testing.T, url string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStats(t, url)
+		if st.Store != nil && st.Store.Entries >= want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("store never reached %d entries", want)
+}
+
+// moduleRoot walks up from the package directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above " + dir)
+		}
+		dir = parent
+	}
+}

@@ -16,9 +16,15 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return s, ts
 }
 
@@ -395,6 +401,10 @@ func TestServerLoadConcurrent(t *testing.T) {
 	}
 	if st.Cache.Builds != int64(len(programs)) {
 		t.Errorf("builds = %d, want %d (one per distinct program)", st.Cache.Builds, len(programs))
+	}
+	if st.Cache.Advances+st.Cache.ColdBuilds+st.Cache.DiskHits != st.Cache.Builds {
+		t.Errorf("build accounting broken: advances %d + cold %d + disk %d != builds %d",
+			st.Cache.Advances, st.Cache.ColdBuilds, st.Cache.DiskHits, st.Cache.Builds)
 	}
 	// After the first round every program is warm: hits must dominate.
 	if st.Cache.Hits <= st.Cache.Misses {

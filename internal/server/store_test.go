@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"specslice"
+	"specslice/internal/store"
+	"specslice/internal/workload"
+)
+
+// newStoreServer starts a server whose persistent tier lives on fs — the
+// in-memory filesystem survives server restarts the way a disk survives
+// process crashes, so restart tests share one fs across server lifetimes.
+func newStoreServer(t *testing.T, fs store.FS) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{StoreDir: "/persist", StoreFS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// TestDiskWarmRestart is the satellite's core scenario: a program built by
+// one server generation is served disk-warm — byte-identically — by the
+// next generation sharing the store, without a cold build.
+func TestDiskWarmRestart(t *testing.T) {
+	fs := store.NewMemFS()
+	crit := []CriterionRequest{
+		{Kind: "printf", Proc: "main"},
+		{Kind: "printf", Proc: "main", Mode: "mono"},
+	}
+
+	// Generation 1: cold build, write-behind persist, clean shutdown.
+	s1, ts1 := newStoreServer(t, fs)
+	status, resp1, raw := postSlice(t, ts1.URL, SliceRequest{Program: workload.Fig1Source, Criteria: crit})
+	if status != http.StatusOK {
+		t.Fatalf("gen1: status %d: %s", status, raw)
+	}
+	if resp1.CacheHit || resp1.DiskWarm {
+		t.Fatalf("gen1: hit=%v diskwarm=%v, want cold", resp1.CacheHit, resp1.DiskWarm)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil { // flushes the write-behind queue
+		t.Fatal(err)
+	}
+
+	// Generation 2: RAM cache is empty, the store is warm.
+	s2, ts2 := newStoreServer(t, fs)
+	if st := s2.Store().Stats(); st.RecoveredEntries == 0 || !st.RecoveredClean {
+		t.Fatalf("gen2 recovery: %+v, want recovered entries and a clean marker", st)
+	}
+	status, resp2, raw := postSlice(t, ts2.URL, SliceRequest{Program: workload.Fig1Source, Criteria: crit})
+	if status != http.StatusOK {
+		t.Fatalf("gen2: status %d: %s", status, raw)
+	}
+	if resp2.CacheHit || !resp2.DiskWarm {
+		t.Fatalf("gen2: hit=%v diskwarm=%v, want a disk-warm miss", resp2.CacheHit, resp2.DiskWarm)
+	}
+	if resp2.ProgramKey != resp1.ProgramKey {
+		t.Fatalf("program keys differ across restart: %s vs %s", resp2.ProgramKey, resp1.ProgramKey)
+	}
+	for i := range resp1.Results {
+		if resp2.Results[i].Source != resp1.Results[i].Source {
+			t.Errorf("result %d differs between cold and disk-warm engines:\n--- cold\n%s\n--- disk\n%s",
+				i, resp1.Results[i].Source, resp2.Results[i].Source)
+		}
+	}
+	st := getStats(t, ts2.URL)
+	if st.Cache.DiskHits != 1 || st.Cache.ColdBuilds != 0 {
+		t.Errorf("gen2 cache: disk=%d cold=%d, want 1/0 (%+v)", st.Cache.DiskHits, st.Cache.ColdBuilds, st.Cache)
+	}
+	if st.Store == nil {
+		t.Fatal("stats missing store block")
+	}
+	if st.Store.DiskHits != 1 || st.Store.Entries == 0 || st.Store.BytesOnDisk <= 0 {
+		t.Errorf("store stats = %+v", st.Store)
+	}
+	// A repeat post is now a plain RAM hit.
+	if _, resp3, _ := postSlice(t, ts2.URL, SliceRequest{Program: workload.Fig1Source, Criteria: crit}); !resp3.CacheHit {
+		t.Error("second gen2 post missed the RAM cache")
+	}
+}
+
+// TestDiskAncestorAdvance: a restarted server advancing an edited program
+// from the family's on-disk head instead of cold-building.
+func TestDiskAncestorAdvance(t *testing.T) {
+	fs := store.NewMemFS()
+	crit := []CriterionRequest{{Kind: "printf", Proc: "main"}}
+
+	s1, ts1 := newStoreServer(t, fs)
+	if status, _, raw := postSlice(t, ts1.URL, SliceRequest{Program: versionBase, Criteria: crit}); status != http.StatusOK {
+		t.Fatalf("gen1: %d %s", status, raw)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newStoreServer(t, fs)
+	status, resp, raw := postSlice(t, ts2.URL, SliceRequest{Program: versionEdit(1), Criteria: crit})
+	if status != http.StatusOK {
+		t.Fatalf("gen2 edit: status %d: %s", status, raw)
+	}
+	if !resp.Advanced || resp.DiskWarm || resp.CacheHit {
+		t.Fatalf("gen2 edit: hit=%v advanced=%v diskwarm=%v, want a disk-ancestor advance",
+			resp.CacheHit, resp.Advanced, resp.DiskWarm)
+	}
+	if resp.Results[0].Error != "" {
+		t.Fatalf("gen2 edit slice failed: %s", resp.Results[0].Error)
+	}
+	st := s2.Cache().Stats()
+	if st.Advances != 1 || st.ColdBuilds != 0 {
+		t.Errorf("gen2: advances=%d cold=%d, want 1/0 (%+v)", st.Advances, st.ColdBuilds, st)
+	}
+
+	// The advance must match a cold build of the edited version exactly.
+	_, fresh := newTestServer(t, Config{})
+	_, coldResp, _ := postSlice(t, fresh.URL, SliceRequest{Program: versionEdit(1), Criteria: crit})
+	if resp.Results[0].Source != coldResp.Results[0].Source {
+		t.Errorf("disk-ancestor advance differs from cold build:\n--- advanced\n%s\n--- cold\n%s",
+			resp.Results[0].Source, coldResp.Results[0].Source)
+	}
+}
+
+// TestCorruptSnapshotFallsBackCold: a snapshot that passes the store's CRC
+// but fails engine decode must degrade to a cold build — logged and
+// counted, never an error to the client.
+func TestCorruptSnapshotFallsBackCold(t *testing.T) {
+	fs := store.NewMemFS()
+	prog := specslice.MustParse(workload.Fig1Source)
+	key := ContentKey(prog.Source())
+	family := FamilyKey(prog.ProcNames())
+
+	// Plant a well-checksummed but undecodable snapshot under the program's
+	// exact key (an old format version or a buggy writer would do this).
+	st, err := store.Open("/persist", store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(key, family, []byte("SSNAP\x00\x00\x01 this is not a snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newStoreServer(t, fs)
+	status, resp, raw := postSlice(t, ts.URL, SliceRequest{
+		Program:  workload.Fig1Source,
+		Criteria: []CriterionRequest{{Kind: "printf", Proc: "main"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if resp.DiskWarm || resp.CacheHit {
+		t.Fatalf("corrupt snapshot served warm: hit=%v diskwarm=%v", resp.CacheHit, resp.DiskWarm)
+	}
+	if resp.Results[0].Error != "" {
+		t.Fatalf("slice failed after fallback: %s", resp.Results[0].Error)
+	}
+	stats := getStats(t, ts.URL)
+	if stats.Store == nil || stats.Store.DiskLoadsFailed == 0 {
+		t.Errorf("decode failure not counted: %+v", stats.Store)
+	}
+	if stats.Cache.ColdBuilds != 1 || stats.Cache.DiskHits != 0 {
+		t.Errorf("fallback accounting: %+v", stats.Cache)
+	}
+}
+
+// TestBitRotSnapshotIsCleanMiss: a CRC-failing record is quarantined by
+// the store at read time; the server sees a clean miss and cold-builds.
+func TestBitRotSnapshotIsCleanMiss(t *testing.T) {
+	fs := store.NewMemFS()
+	crit := []CriterionRequest{{Kind: "printf", Proc: "main"}}
+
+	s1, ts1 := newStoreServer(t, fs)
+	if status, _, raw := postSlice(t, ts1.URL, SliceRequest{Program: workload.Fig1Source, Criteria: crit}); status != http.StatusOK {
+		t.Fatalf("gen1: %d %s", status, raw)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rot a byte deep inside the segment payload.
+	if err := fs.Corrupt("/persist/seg-00000001.dat", 200, 0x08); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newStoreServer(t, fs)
+	status, resp, raw := postSlice(t, ts2.URL, SliceRequest{Program: workload.Fig1Source, Criteria: crit})
+	if status != http.StatusOK {
+		t.Fatalf("gen2: status %d: %s", status, raw)
+	}
+	if resp.DiskWarm {
+		t.Fatal("rotted snapshot served disk-warm")
+	}
+	if resp.Results[0].Error != "" {
+		t.Fatalf("slice failed after bit rot: %s", resp.Results[0].Error)
+	}
+	st := getStats(t, ts2.URL)
+	if st.Store == nil || st.Store.CorruptRecords == 0 {
+		t.Errorf("bit rot not counted: %+v", st.Store)
+	}
+}
+
+// TestServeDrainClosesStoreCleanly: the SIGTERM path (context cancel)
+// drains in-flight requests, flushes the write-behind queue, and leaves
+// the store's clean-shutdown marker — the next generation recovers clean.
+func TestServeDrainClosesStoreCleanly(t *testing.T) {
+	fs := store.NewMemFS()
+	s, err := New(Config{StoreDir: "/persist", StoreFS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	status, _, raw := postSlice(t, url, SliceRequest{
+		Program:  workload.Fig1Source,
+		Criteria: []CriterionRequest{{Kind: "printf", Proc: "main"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+
+	cancel() // SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	st, err := store.Open("/persist", store.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("reopen after drain: %v", err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if !stats.RecoveredClean {
+		t.Errorf("drain did not leave a clean-shutdown marker: %+v", stats)
+	}
+	if stats.RecoveredEntries == 0 {
+		t.Errorf("drain lost the persisted engine: %+v", stats)
+	}
+}

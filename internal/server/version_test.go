@@ -86,8 +86,8 @@ func TestVersionChainAdvance(t *testing.T) {
 	if st.Advances != 1 || st.ColdBuilds != 2 {
 		t.Errorf("advances=%d cold=%d, want 1/2 (%+v)", st.Advances, st.ColdBuilds, st)
 	}
-	if st.Builds != st.Advances+st.ColdBuilds {
-		t.Errorf("builds %d != advances %d + cold %d", st.Builds, st.Advances, st.ColdBuilds)
+	if st.Builds != st.Advances+st.ColdBuilds+st.DiskHits {
+		t.Errorf("builds %d != advances %d + cold %d + disk %d", st.Builds, st.Advances, st.ColdBuilds, st.DiskHits)
 	}
 }
 
@@ -170,8 +170,8 @@ func TestVersionChainConcurrent(t *testing.T) {
 	if st.Builds+st.Deduped+st.BuildErrors != st.Misses {
 		t.Errorf("miss accounting broken: %+v", st)
 	}
-	if st.Advances+st.ColdBuilds != st.Builds {
-		t.Errorf("build accounting broken: advances %d + cold %d != builds %d", st.Advances, st.ColdBuilds, st.Builds)
+	if st.Advances+st.ColdBuilds+st.DiskHits != st.Builds {
+		t.Errorf("build accounting broken: advances %d + cold %d + disk %d != builds %d", st.Advances, st.ColdBuilds, st.DiskHits, st.Builds)
 	}
 	if st.BuildErrors != 0 {
 		t.Errorf("build errors under version-chain load: %+v", st)
@@ -191,35 +191,35 @@ func TestVersionChainConcurrent(t *testing.T) {
 
 func TestVersionChainEvictedAncestorFallsBackCold(t *testing.T) {
 	cache := NewEngineCache(1, -1) // one entry: building v2 evicts v1
-	build := func(src string) func(*specslice.Engine) (*specslice.Engine, bool, error) {
-		return func(anc *specslice.Engine) (*specslice.Engine, bool, error) {
+	build := func(src string) func(*specslice.Engine) (*specslice.Engine, BuildSource, error) {
+		return func(anc *specslice.Engine) (*specslice.Engine, BuildSource, error) {
 			prog := specslice.MustParse(src)
 			if anc != nil {
 				p, err := prog.EliminateIndirectCalls()
 				if err != nil {
-					return nil, false, err
+					return nil, BuildCold, err
 				}
 				if neng, _, err := anc.Advance(p); err == nil {
-					return neng, true, nil
+					return neng, BuildAdvance, nil
 				}
 			}
 			eng, err := prog.Engine()
-			return eng, false, err
+			return eng, BuildCold, err
 		}
 	}
 	fam := FamilyKey(specslice.MustParse(versionBase).ProcNames())
 	v1, v2, v3 := versionBase, versionEdit(1), versionEdit(2)
 
-	if _, _, adv, err := cache.Get(ContentKey(v1), fam, build(v1)); err != nil || adv {
-		t.Fatalf("v1: adv=%v err=%v", adv, err)
+	if _, _, src, err := cache.Get(ContentKey(v1), fam, build(v1)); err != nil || src != BuildCold {
+		t.Fatalf("v1: source=%v err=%v", src, err)
 	}
-	if _, _, adv, err := cache.Get(ContentKey(v2), fam, build(v2)); err != nil || !adv {
-		t.Fatalf("v2: adv=%v err=%v, want advance", adv, err)
+	if _, _, src, err := cache.Get(ContentKey(v2), fam, build(v2)); err != nil || src != BuildAdvance {
+		t.Fatalf("v2: source=%v err=%v, want advance", src, err)
 	}
 	// v1 was evicted by v2's insert, but the family head now points at v2,
 	// so v3 still advances.
-	if _, _, adv, err := cache.Get(ContentKey(v3), fam, build(v3)); err != nil || !adv {
-		t.Fatalf("v3: adv=%v err=%v, want advance from v2", adv, err)
+	if _, _, src, err := cache.Get(ContentKey(v3), fam, build(v3)); err != nil || src != BuildAdvance {
+		t.Fatalf("v3: source=%v err=%v, want advance from v2", src, err)
 	}
 	// Evict v3 with an unrelated family: the chain head is gone, so the
 	// next member of the old family cold-builds.
@@ -228,8 +228,8 @@ func TestVersionChainEvictedAncestorFallsBackCold(t *testing.T) {
 		t.Fatal(err)
 	}
 	v4 := versionEdit(3)
-	if _, _, adv, err := cache.Get(ContentKey(v4), fam, build(v4)); err != nil || adv {
-		t.Fatalf("v4 after eviction: adv=%v err=%v, want cold", adv, err)
+	if _, _, src, err := cache.Get(ContentKey(v4), fam, build(v4)); err != nil || src != BuildCold {
+		t.Fatalf("v4 after eviction: source=%v err=%v, want cold", src, err)
 	}
 	st := cache.Stats()
 	if st.Advances != 2 || st.ColdBuilds != 3 {
