@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"specslice/internal/experiments"
 	"specslice/internal/workload"
@@ -28,6 +29,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write machine-readable engine timings to BENCH_engine.json")
 	benchIters := flag.Int("bench-iters", 20, "iterations per -json timing loop")
 	workers := flag.Int("workers", 0, "SliceAll worker-pool size for the -json batch (0 = GOMAXPROCS)")
+	workloadDur := flag.Duration("workload-duration", 5*time.Second, "per-scenario length of the -json workload runs (0 = skip the workloads block)")
+	workloadSeed := flag.Int64("workload-seed", 1, "schedule seed for the -json workload runs")
 	flag.Parse()
 
 	if *jsonOut {
@@ -35,6 +38,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
+		}
+		if *workloadDur > 0 {
+			if err := eb.RunWorkloads(*workloadDur, *workloadSeed); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
 		}
 		if err := eb.WriteJSON("BENCH_engine.json"); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -44,6 +53,12 @@ func main() {
 			eb.ColdNsPerOp, eb.WarmNsPerOp, eb.WarmSpeedup, eb.WarmAllocsPerOp, eb.BatchSize, eb.Workers, eb.BatchSpeedup)
 		fmt.Printf("  advance (%s, %d single-proc edits): %.0fns/op incremental vs %.0fns/op cold = %.1fx\n",
 			eb.AdvanceSuite, eb.AdvanceEdits, eb.IncrementalNsPerOp, eb.AdvanceColdNsPerOp, eb.AdvanceSpeedup)
+		for _, w := range eb.Workloads {
+			fmt.Printf("  workload %s: %.0f/%.0f ops/sec, p50 %v p99 %v p99.9 %v, %d errors, %d shed\n",
+				w.Name, w.AchievedOpsPerSec, w.TargetOpsPerSec,
+				time.Duration(w.P50NS), time.Duration(w.P99NS), time.Duration(w.P999NS),
+				w.Errors, w.Shed)
+		}
 		if *table == "none" {
 			return
 		}

@@ -23,6 +23,16 @@
 // The serve subcommand runs the HTTP/JSON slicing service (POST /v1/slice,
 // GET /v1/stats, GET /healthz) backed by a content-addressed engine cache;
 // see internal/server and the README's Serving section.
+//
+// The bench subcommand drives a named workload scenario (read_heavy,
+// write_heavy, balanced) against the real HTTP slice path with an
+// open-loop Zipfian schedule and prints the tail-latency report:
+//
+//	specslice bench -scenario read_heavy -rate 400 -duration 10s
+//	specslice bench -scenario write_heavy -url http://host:8080
+//
+// Without -url it boots its own in-process server on a loopback listener;
+// see internal/loadgen and the README's Load testing section.
 package main
 
 import (
@@ -38,7 +48,10 @@ import (
 	"syscall"
 	"time"
 
+	"encoding/json"
+
 	"specslice"
+	"specslice/internal/loadgen"
 	"specslice/internal/server"
 )
 
@@ -91,9 +104,60 @@ func serve(args []string) {
 	log.Printf("specslice: drained, bye")
 }
 
+// bench runs one workload scenario and prints its report as JSON.
+func bench(args []string) {
+	fs := flag.NewFlagSet("specslice bench", flag.ExitOnError)
+	scenario := fs.String("scenario", "read_heavy", "workload scenario: read_heavy | write_heavy | balanced")
+	rate := fs.Float64("rate", 0, "target throughput in ops/sec (0 = the scenario default)")
+	duration := fs.Duration("duration", 10*time.Second, "scheduled run length")
+	seed := fs.Int64("seed", 1, "schedule seed; equal seeds replay identical runs")
+	url := fs.String("url", "", "slicing service base URL (empty = boot an in-process server)")
+	maxInFlight := fs.Int("max-inflight", 0, "in-flight request cap (0 = default 256)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: specslice bench [flags]")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	sc, err := loadgen.ScenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := loadgen.BuildSchedule(sc, *rate, *duration, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("specslice bench: %s, %d ops over %v (%d program versions, seed %d)",
+		sc.Name, len(sched.Ops), *duration, len(sched.Sources), *seed)
+	opts := loadgen.Options{MaxInFlight: *maxInFlight}
+	var rep *loadgen.Report
+	if *url != "" {
+		rep, err = loadgen.Run(*url, sched, opts)
+	} else {
+		rep, err = loadgen.RunInProcess(sched, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+	log.Printf("specslice bench: %.0f/%.0f ops/sec achieved, p50 %v p99 %v p99.9 %v, %d errors, %d shed",
+		rep.AchievedOpsPerSec, rep.TargetOpsPerSec,
+		time.Duration(rep.P50NS), time.Duration(rep.P99NS), time.Duration(rep.P999NS),
+		rep.Errors, rep.Shed)
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serve(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		bench(os.Args[2:])
 		return
 	}
 	mode := flag.String("mode", "poly", "poly | mono | weiser | feature")

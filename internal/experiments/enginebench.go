@@ -11,6 +11,7 @@ import (
 	"specslice/internal/core"
 	"specslice/internal/engine"
 	"specslice/internal/lang"
+	"specslice/internal/loadgen"
 	"specslice/internal/par"
 	"specslice/internal/sdg"
 	"specslice/internal/store"
@@ -109,6 +110,13 @@ type EngineBench struct {
 	SnapshotEncodeNs    int64   `json:"snapshot_encode_ns"`
 	WarmFromDiskNsPerOp float64 `json:"warm_from_disk_ns_per_op"`
 	RestartRecoveryNs   int64   `json:"restart_recovery_ns"`
+
+	// Workloads holds one tail-latency report per loadgen scenario
+	// (read_heavy, write_heavy, balanced): an open-loop Zipfian schedule
+	// driven over the real HTTP slice path against a fresh in-process
+	// server. Filled by RunWorkloads; CI gates errors == 0 on every entry
+	// and a smoke-level p99 bound on read_heavy.
+	Workloads []loadgen.Report `json:"workloads"`
 }
 
 // WorkerSweepEntry is one row of a fixed-concurrency sweep: the

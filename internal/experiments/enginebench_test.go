@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 // engineBenchRequiredKeys is the BENCH_engine.json schema contract: CI
@@ -39,6 +40,7 @@ var engineBenchRequiredKeys = []string{
 	"snapshot_encode_ns",
 	"warm_from_disk_ns_per_op",
 	"restart_recovery_ns",
+	"workloads",
 }
 
 func TestEngineBenchSchemaKeys(t *testing.T) {
@@ -56,6 +58,43 @@ func TestEngineBenchSchemaKeys(t *testing.T) {
 	for _, k := range engineBenchRequiredKeys {
 		if _, ok := m[k]; !ok {
 			t.Errorf("BENCH_engine.json schema regressed: key %q missing", k)
+		}
+	}
+}
+
+// TestRunWorkloadsSmoke runs the BENCH workloads block end to end at a
+// short duration: one report per registered scenario, zero request errors
+// (every scheduled criterion must resolve), and live monotone quantiles.
+func TestRunWorkloadsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload smoke is not -short")
+	}
+	eb := &EngineBench{}
+	if err := eb.RunWorkloads(time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"read_heavy": true, "write_heavy": true, "balanced": true}
+	if len(eb.Workloads) != len(want) {
+		t.Fatalf("%d workload reports, want %d", len(eb.Workloads), len(want))
+	}
+	for _, w := range eb.Workloads {
+		if !want[w.Name] {
+			t.Errorf("unexpected workload %q", w.Name)
+		}
+		delete(want, w.Name)
+		if w.Errors != 0 {
+			t.Errorf("%s: %d request errors, want 0", w.Name, w.Errors)
+		}
+		if w.Ops == 0 || w.AchievedOpsPerSec <= 0 {
+			t.Errorf("%s: no completed ops: %+v", w.Name, w)
+		}
+		if w.P50NS <= 0 || w.P50NS > w.P99NS || w.P99NS > w.P999NS {
+			t.Errorf("%s: quantiles not positive and monotone: p50=%d p99=%d p999=%d",
+				w.Name, w.P50NS, w.P99NS, w.P999NS)
+		}
+		if w.Cache.Hits+w.Cache.Misses != w.Ops {
+			t.Errorf("%s: cache delta hits %d + misses %d != ops %d",
+				w.Name, w.Cache.Hits, w.Cache.Misses, w.Ops)
 		}
 	}
 }

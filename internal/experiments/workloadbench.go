@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"specslice/internal/loadgen"
+)
+
+// RunWorkloads fills eb.Workloads: every registered loadgen scenario at
+// its default rate, each against its own fresh in-process server over the
+// real HTTP slice path. Scenarios run sequentially so their latency tails
+// do not contaminate each other. The seed fixes the whole run — corpus,
+// edit streams, Poisson arrivals, and Zipf draws — so equal (duration,
+// seed) arguments replay comparable runs across commits.
+func (eb *EngineBench) RunWorkloads(duration time.Duration, seed int64) error {
+	for _, sc := range loadgen.Scenarios() {
+		sched, err := loadgen.BuildSchedule(sc, 0, duration, seed)
+		if err != nil {
+			return fmt.Errorf("experiments: %s schedule: %w", sc.Name, err)
+		}
+		rep, err := loadgen.RunInProcess(sched, loadgen.Options{})
+		if err != nil {
+			return fmt.Errorf("experiments: %s run: %w", sc.Name, err)
+		}
+		eb.Workloads = append(eb.Workloads, *rep)
+	}
+	return nil
+}

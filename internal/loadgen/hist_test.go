@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramBounds(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Millisecond, 10)
+	bounds := h.Bounds()
+	if bounds[0] != time.Microsecond {
+		t.Errorf("first bound = %v, want 1µs", bounds[0])
+	}
+	if last := bounds[len(bounds)-1]; last != time.Millisecond {
+		t.Errorf("last bound = %v, want 1ms", last)
+	}
+	// Log spacing: successive bounds grow by 10^(1/perDecade), so three
+	// decades at 10/decade is ~31 buckets and each ratio is ~1.259.
+	want := math.Pow(10, 0.1)
+	for i := 1; i < len(bounds)-1; i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v <= %v", i, bounds[i], bounds[i-1])
+		}
+		ratio := float64(bounds[i]) / float64(bounds[i-1])
+		if math.Abs(ratio-want) > 0.01 {
+			t.Errorf("bucket %d growth = %.4f, want %.4f", i, ratio, want)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 20)
+	// A value exactly on a bound lands in that bound's bucket (bounds are
+	// inclusive upper ends), so recording a bound reports it exactly.
+	h.Record(time.Microsecond)
+	if q := h.Quantile(1); q != time.Microsecond {
+		t.Errorf("value on the min bound reports %v, want 1µs", q)
+	}
+	// Below-range values are clamped into bucket 0, not lost.
+	h.Record(0)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+	// Above-range values land in the overflow bucket and quantiles report
+	// the max bound — "off the scale", never a made-up number.
+	h.Record(2 * time.Second)
+	if h.Overflow() != 1 {
+		t.Errorf("overflow = %d, want 1", h.Overflow())
+	}
+	if q := h.Quantile(1); q != time.Second {
+		t.Errorf("overflowed max quantile = %v, want the 1s max bound", q)
+	}
+}
+
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 1000 observations at 1µs, 2µs, ..., 1000µs: the true q-quantile is
+	// q·1000 µs. The histogram must never under-report and may over-report
+	// by at most one bucket (growth 10^(1/20) ≈ 12.2%).
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	growth := math.Pow(10, 1.0/20)
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want {
+			t.Errorf("q%.3f = %v under-reports the true %v", tc.q, got, tc.want)
+		}
+		if lim := time.Duration(float64(tc.want) * growth * growth); got > lim {
+			t.Errorf("q%.3f = %v over-reports the true %v by more than a bucket (limit %v)", tc.q, got, tc.want, lim)
+		}
+	}
+	// Quantiles are monotone in q.
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		if v := h.Quantile(q); v < prev {
+			t.Errorf("quantiles not monotone: q%.3f = %v < %v", q, v, prev)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}

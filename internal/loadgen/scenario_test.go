@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	for _, name := range []string{"read_heavy", "write_heavy", "balanced"} {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Name != name || sc.Programs < 1 || sc.DefaultRate <= 0 {
+			t.Errorf("%s: malformed registry entry %+v", name, sc)
+		}
+	}
+	if _, err := ScenarioByName("chaos_monkey"); err == nil {
+		t.Error("unknown scenario did not error")
+	}
+}
+
+// TestBuildScheduleDeterminism: a schedule is a pure function of
+// (scenario, rate, duration, seed) — CI compares runs across commits, so
+// the same arguments must replay the identical op sequence, sources and
+// all.
+func TestBuildScheduleDeterminism(t *testing.T) {
+	sc, err := ScenarioByName("balanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildSchedule(sc, 80, 2*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(sc, 80, 2*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Sources, b.Sources) {
+		t.Error("equal seeds generated different sources")
+	}
+	if !reflect.DeepEqual(a.Ops, b.Ops) {
+		t.Error("equal seeds generated different op sequences")
+	}
+	c, err := BuildSchedule(sc, 80, 2*time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Error("different seeds replayed the same schedule")
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			const rate, dur = 60, 2 * time.Second
+			s, err := BuildSchedule(sc, rate, dur, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Sources) < sc.Programs {
+				t.Fatalf("%d sources for a %d-program corpus", len(s.Sources), sc.Programs)
+			}
+			var writes int
+			var prev time.Duration
+			for i, op := range s.Ops {
+				if op.At < prev || op.At >= dur {
+					t.Fatalf("op %d at %v out of order or past duration %v", i, op.At, dur)
+				}
+				prev = op.At
+				if op.Program < 0 || op.Program >= len(s.Sources) {
+					t.Fatalf("op %d references source %d of %d", i, op.Program, len(s.Sources))
+				}
+				if len(op.Criteria) < 1 || len(op.Criteria) > 2 {
+					t.Fatalf("op %d has %d criteria", i, len(op.Criteria))
+				}
+				if op.Write {
+					writes++
+				}
+			}
+			// Poisson arrivals at the target rate: the op count concentrates
+			// around rate·duration; 3x slack keeps the check un-flaky while
+			// still catching a broken arrival process.
+			mean := rate * dur.Seconds()
+			if n := float64(len(s.Ops)); n < mean/3 || n > mean*3 {
+				t.Errorf("%d ops for a mean of %.0f", len(s.Ops), mean)
+			}
+			// The write mix tracks 1-ReadFraction (writes can come in a
+			// little under it: a no-op editor step degrades to a read).
+			wantWrites := (1 - sc.ReadFraction) * float64(len(s.Ops))
+			if float64(writes) > wantWrites*1.5+10 {
+				t.Errorf("%d writes, want about %.0f", writes, wantWrites)
+			}
+			if sc.ReadFraction < 0.9 && writes == 0 {
+				t.Errorf("no writes in a %s schedule", sc.Name)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Package loadgen is the tail-latency workload harness: named scenarios
+// (read_heavy, write_heavy, balanced) drive the real POST /v1/slice HTTP
+// path with an open-loop, target-throughput schedule and record per-request
+// service time in a fixed-bucket log-spaced histogram (p50/p95/p99/p999).
+//
+// Everything the harness decides — which program a request targets, which
+// criteria it slices, when each edit lands — is derived from one seed, so a
+// run's schedule replays identically and CI numbers stay comparable across
+// machines. Program and criterion popularity are Zipfian: a hot head keeps
+// the server's LRU warm while the long tail forces misses and evictions,
+// which is exactly where the latency tail the mean ns/op numbers in
+// BENCH_engine.json cannot see lives (summary-edge fixpoint joins, eviction
+// storms, write-behind backpressure).
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks in [0, n) with P(rank) proportional to 1/(rank+1)^theta,
+// rank 0 most popular — the YCSB ZipfianGenerator construction after Gray
+// et al., "Quickly Generating Billion-Record Synthetic Databases". Unlike
+// math/rand's Zipf it accepts the conventional skew range theta in (0, 1)
+// (YCSB's default is 0.99). Deterministic given its seed; not safe for
+// concurrent use (the harness draws schedules single-threaded).
+type Zipf struct {
+	n     int
+	theta float64
+	// alpha, zetan, and eta are the precomputed constants of the rejection-
+	// free inverse-CDF approximation; half is zeta(2)'s second term.
+	alpha, zetan, eta, half float64
+	rng                     *rand.Rand
+}
+
+// NewZipf returns a Zipfian generator over n ranks with skew theta,
+// seeded with seed. It panics on n < 1 or theta outside (0, 1).
+func NewZipf(n int, theta float64, seed int64) *Zipf {
+	if n < 1 {
+		panic("loadgen: NewZipf needs n >= 1")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("loadgen: NewZipf needs theta in (0, 1)")
+	}
+	z := &Zipf{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.half = math.Pow(0.5, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - (1+z.half)/z.zetan)
+	return z
+}
+
+// zeta returns the generalized harmonic number H_{n,theta}.
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank.
+func (z *Zipf) Next() int {
+	if z.n == 1 {
+		return 0
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// TopShare returns the probability mass of rank 0 — 1/zeta(n, theta) — for
+// tests and for sizing cache budgets against a scenario's hot head.
+func (z *Zipf) TopShare() float64 { return 1 / z.zetan }

@@ -1,0 +1,62 @@
+package loadgen
+
+import "testing"
+
+func TestZipfDeterminism(t *testing.T) {
+	a := NewZipf(100, 0.99, 42)
+	b := NewZipf(100, 0.99, 42)
+	for i := 0; i < 1000; i++ {
+		av, bv := a.Next(), b.Next()
+		if av != bv {
+			t.Fatalf("draw %d: %d vs %d — equal seeds must replay identically", i, av, bv)
+		}
+	}
+	c := NewZipf(100, 0.99, 43)
+	same := true
+	d := NewZipf(100, 0.99, 42)
+	for i := 0; i < 100; i++ {
+		if c.Next() != d.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the same first 100 draws")
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	const n, draws = 100, 200000
+	z := NewZipf(n, 0.99, 7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= n {
+			t.Fatalf("draw out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 is the most popular item and its empirical share tracks the
+	// analytic 1/zeta(n, theta).
+	for r := 1; r < n; r++ {
+		if counts[r] > counts[0] {
+			t.Fatalf("rank %d (%d draws) beat rank 0 (%d draws)", r, counts[r], counts[0])
+		}
+	}
+	share := float64(counts[0]) / draws
+	want := z.TopShare()
+	if share < want*0.8 || share > want*1.2 {
+		t.Errorf("rank-0 share = %.4f, want %.4f ±20%%", share, want)
+	}
+	// The tail is long, not empty: a Zipfian at theta 0.99 still visits
+	// most of 100 items in 200k draws.
+	visited := 0
+	for _, c := range counts {
+		if c > 0 {
+			visited++
+		}
+	}
+	if visited < n*9/10 {
+		t.Errorf("only %d/%d items drawn — tail too thin for a Zipfian", visited, n)
+	}
+}

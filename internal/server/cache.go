@@ -145,21 +145,27 @@ func NewEngineCache(maxEntries int, maxBytes int64) *EngineCache {
 // it instead of cold-building and reports which path it took (advance,
 // disk-warm load, or cold build). Build errors are returned to every
 // waiter and are not cached — the next request retries.
-func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Engine) (*specslice.Engine, BuildSource, error)) (eng *specslice.Engine, hit bool, source BuildSource, err error) {
+//
+// deduped reports that this call joined another request's in-flight build
+// instead of doing any work itself. Waiters still receive the builder's
+// source so callers can see how the engine came to exist, but response
+// attribution (advanced/disk_warm) belongs to the one request that did the
+// work — the deduped flag is what distinguishes them.
+func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Engine) (*specslice.Engine, BuildSource, error)) (eng *specslice.Engine, hit, deduped bool, source BuildSource, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
 		eng := el.Value.(*cacheEntry).eng
 		c.mu.Unlock()
-		return eng, true, BuildCold, nil
+		return eng, true, false, BuildCold, nil
 	}
 	c.stats.Misses++
 	if call, ok := c.building[key]; ok {
 		c.stats.Deduped++
 		c.mu.Unlock()
 		<-call.done
-		return call.eng, false, call.source, call.err
+		return call.eng, false, true, call.source, call.err
 	}
 	call := &buildCall{done: make(chan struct{})}
 	c.building[key] = call
@@ -208,7 +214,7 @@ func (c *EngineCache) Get(key, family string, build func(ancestor *specslice.Eng
 	c.stats.Entries = c.lru.Len()
 	c.mu.Unlock()
 	close(call.done)
-	return call.eng, false, call.source, call.err
+	return call.eng, false, false, call.source, call.err
 }
 
 // runBuild runs the build plus the engine warm-up (Footprint warms every

@@ -32,7 +32,7 @@ func buildEngine(t *testing.T, src string, builds *atomic.Int64, delay time.Dura
 // tests exercise pure LRU/singleflight semantics; chain behavior has its
 // own tests (version_test.go).
 func get(cache *EngineCache, key string, build func() (*specslice.Engine, error)) (*specslice.Engine, bool, error) {
-	eng, hit, _, err := cache.Get(key, "fam:"+key, func(*specslice.Engine) (*specslice.Engine, BuildSource, error) {
+	eng, hit, _, _, err := cache.Get(key, "fam:"+key, func(*specslice.Engine) (*specslice.Engine, BuildSource, error) {
 		e, err := build()
 		return e, BuildCold, err
 	})
@@ -161,6 +161,86 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 	if st.Hits+st.Misses != callers {
 		t.Errorf("hit/miss accounting broken: %+v", st)
+	}
+}
+
+// waitFor polls cond until it holds, failing the test after 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDedupWaiterAttribution: a request that joins another request's
+// in-flight build must report deduped — it still learns the builder's
+// source (how the engine came to exist) but may not claim the work.
+// Regression test: waiters were indistinguishable from builders, so two
+// concurrent requests for one new version both reported "advanced".
+func TestDedupWaiterAttribution(t *testing.T) {
+	cache := NewEngineCache(8, -1)
+	key := ContentKey(workload.Fig1Source)
+	release := make(chan struct{})
+	build := func(*specslice.Engine) (*specslice.Engine, BuildSource, error) {
+		<-release
+		prog, err := specslice.Parse(workload.Fig1Source)
+		if err != nil {
+			return nil, BuildCold, err
+		}
+		eng, err := prog.Engine()
+		// Claim the advance path so the test can see it pass through to
+		// the waiter without the waiter owning it.
+		return eng, BuildAdvance, err
+	}
+
+	type result struct {
+		hit, deduped bool
+		source       BuildSource
+		err          error
+	}
+	results := make(chan result, 2)
+	go func() {
+		_, hit, deduped, source, err := cache.Get(key, "fam", build)
+		results <- result{hit, deduped, source, err}
+	}()
+	// Wait for the first request to hold the build, then join it; Deduped
+	// ticking over proves the second request is a waiter, not a hit.
+	waitFor(t, func() bool { return cache.Stats().InFlight == 1 })
+	go func() {
+		_, hit, deduped, source, err := cache.Get(key, "fam", build)
+		results <- result{hit, deduped, source, err}
+	}()
+	waitFor(t, func() bool { return cache.Stats().Deduped == 1 })
+	close(release)
+
+	var builders, waiters int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.hit {
+			t.Error("no request can report a RAM hit on a cold key")
+		}
+		if r.source != BuildAdvance {
+			t.Errorf("source = %v, want advance for both callers", r.source)
+		}
+		if r.deduped {
+			waiters++
+		} else {
+			builders++
+		}
+	}
+	if builders != 1 || waiters != 1 {
+		t.Errorf("builders=%d waiters=%d, want exactly one of each", builders, waiters)
+	}
+	st := cache.Stats()
+	if st.Deduped != 1 || st.Builds != 1 || st.Advances != 1 {
+		t.Errorf("stats = %+v, want deduped=1 builds=1 advances=1", st)
 	}
 }
 

@@ -100,6 +100,10 @@ type Server struct {
 	// persist queue was full (the cache stays correct; the entry is simply
 	// not disk-warm until rebuilt).
 	persistDropped int64
+	// encodeErrors counts responses whose JSON encoding failed after the
+	// status header was written — the client saw a truncated body. Counted
+	// (and logged) so broken responses are observable instead of silent.
+	encodeErrors int64
 }
 
 // persistReq asks the write-behind goroutine to snapshot eng under key and,
@@ -294,13 +298,19 @@ type SliceResponse struct {
 	ProgramKey string `json:"program_key"`
 	// CacheHit reports whether the engine was served warm from the cache.
 	CacheHit bool `json:"cache_hit"`
-	// Advanced reports that the engine was built by advancing a cached
-	// ancestor version of the same program family instead of analyzing
-	// from scratch (version-chain semantics; see FamilyKey).
+	// Deduped reports that this request joined another request's in-flight
+	// build of the same engine and only waited for it. Advanced and
+	// DiskWarm are reserved for the request that did the work: a deduped
+	// waiter never claims them, no matter how the builder obtained the
+	// engine.
+	Deduped bool `json:"deduped,omitempty"`
+	// Advanced reports that this request built the engine by advancing a
+	// cached ancestor version of the same program family instead of
+	// analyzing from scratch (version-chain semantics; see FamilyKey).
 	Advanced bool `json:"advanced,omitempty"`
-	// DiskWarm reports that the engine was decoded from a checksummed
-	// snapshot in the persistent tier instead of analyzed (a RAM miss that
-	// did not cost a cold build).
+	// DiskWarm reports that this request decoded the engine from a
+	// checksummed snapshot in the persistent tier instead of analyzing (a
+	// RAM miss that did not cost a cold build).
 	DiskWarm bool          `json:"disk_warm,omitempty"`
 	Results  []SliceResult `json:"results"`
 	// Stats aggregates the batch, including the Fig. 21 phase breakdown.
@@ -338,6 +348,10 @@ type StatsResponse struct {
 	// the engines this server cold-built; BuildsTimed counts them.
 	Build       specslice.BuildStats `json:"build"`
 	BuildsTimed int64                `json:"builds_timed"`
+	// ResponseEncodeErrors counts responses whose JSON encoding failed
+	// after the status header was written (the client saw a truncated
+	// body); non-zero means broken responses went out.
+	ResponseEncodeErrors int64 `json:"response_encode_errors"`
 	// Store reports the persistent snapshot tier; omitted when disabled.
 	Store *StoreStatsResponse `json:"store,omitempty"`
 }
@@ -364,20 +378,35 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// maxCriterionWireBytes is the per-criterion allowance in the request-size
+// envelope: kind, proc, a statement text (one source line), a client-chosen
+// label, mode, and JSON punctuation. 4 KiB is far above any legal
+// criterion while keeping a 256-criterion envelope around 1 MiB.
+const maxCriterionWireBytes = 4096
+
+// writeJSON writes v with the given status. An encode failure cannot be
+// turned into an error response — the status header is already on the wire
+// — but it must not be silent either: the client received a truncated body,
+// so it is logged and counted (response_encode_errors in /v1/stats).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("server: response encode failed after status %d: %v", status, err)
+		s.mu.Lock()
+		s.encodeErrors++
+		s.mu.Unlock()
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -390,6 +419,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Build:       s.build,
 		BuildsTimed: s.buildsTimed,
 	}
+	resp.ResponseEncodeErrors = s.encodeErrors
 	diskFailed := s.diskLoadsFailed
 	dropped := s.persistDropped
 	s.mu.Unlock()
@@ -409,40 +439,42 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			PersistDropped:   dropped,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	// Transport-level cap only: JSON escaping can double the program text
-	// (newlines, tabs, quotes), so allow 2x plus envelope slack here and
-	// leave validate() as the authoritative program-size check.
-	r.Body = http.MaxBytesReader(w, r.Body, 2*s.cfg.MaxProgramBytes+1<<16)
+	// (newlines, tabs, quotes), and a legal batch of MaxCriteria criteria
+	// carries statement texts and labels of its own, so the envelope is
+	// sized from both plus fixed slack; validate() stays the authoritative
+	// program-size and batch-size check.
+	r.Body = http.MaxBytesReader(w, r.Body, 2*s.cfg.MaxProgramBytes+int64(s.cfg.MaxCriteria)*maxCriterionWireBytes+1<<16)
 	var req SliceRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", tooLarge.Limit)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request exceeds %d bytes", tooLarge.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if err := s.validate(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	prog, err := specslice.Parse(req.Program)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "program does not parse: %v", err)
+		s.writeError(w, http.StatusUnprocessableEntity, "program does not parse: %v", err)
 		return
 	}
 	norm := prog.Source()
 	key := ContentKey(norm)
 	family := FamilyKey(prog.ProcNames())
-	eng, hit, source, err := s.cache.Get(key, family, func(ancestor *specslice.Engine) (*specslice.Engine, BuildSource, error) {
+	eng, hit, deduped, source, err := s.cache.Get(key, family, func(ancestor *specslice.Engine) (*specslice.Engine, BuildSource, error) {
 		// Build from the canonical normalized source, not the request
 		// text: every normalization-equivalent request must observe the
 		// same engine, including source positions — a line criterion
@@ -511,7 +543,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		return neng, BuildCold, err
 	})
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "program does not analyze: %v", err)
+		s.writeError(w, http.StatusUnprocessableEntity, "program does not analyze: %v", err)
 		return
 	}
 
@@ -534,9 +566,13 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	resp := SliceResponse{
 		ProgramKey: key,
 		CacheHit:   hit,
-		Advanced:   source == BuildAdvance && !hit,
-		DiskWarm:   source == BuildDisk && !hit,
-		Stats:      stats,
+		Deduped:    deduped,
+		// Advanced/DiskWarm belong to the request whose closure did the
+		// work; a waiter that merely joined the in-flight build reports
+		// Deduped instead of claiming the builder's path.
+		Advanced: source == BuildAdvance && !hit && !deduped,
+		DiskWarm: source == BuildDisk && !hit && !deduped,
+		Stats:    stats,
 	}
 	for i, res := range results {
 		out := SliceResult{
@@ -583,7 +619,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	s.phases.Add(stats.Phases)
 	s.mu.Unlock()
 
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) validate(req *SliceRequest) error {
@@ -611,6 +647,12 @@ func (s *Server) validate(req *SliceRequest) error {
 		case "line":
 			if c.Line <= 0 {
 				return fmt.Errorf("criteria[%d]: line criterion needs a positive line", i)
+			}
+			// Line numbering is program-wide (the normalized program's), so
+			// a proc scope would be silently ignored — reject it rather
+			// than return an unscoped answer the client did not ask for.
+			if c.Proc != "" {
+				return fmt.Errorf("criteria[%d]: line criteria do not accept proc (line numbering is program-wide; use a stmt criterion to scope by procedure)", i)
 			}
 		case "stmt":
 			if c.Proc == "" || c.Stmt == "" {

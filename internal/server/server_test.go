@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -263,6 +264,10 @@ func TestSliceValidation(t *testing.T) {
 			Criteria: []CriterionRequest{{Kind: "printf", Mode: "quantum"}}}, http.StatusBadRequest},
 		{"bad line", SliceRequest{Program: workload.Fig1Source,
 			Criteria: []CriterionRequest{{Kind: "line"}}}, http.StatusBadRequest},
+		// Line numbering is program-wide; a proc scope would be silently
+		// ignored, so the server must refuse it instead.
+		{"line with proc", SliceRequest{Program: workload.Fig1Source,
+			Criteria: []CriterionRequest{{Kind: "line", Line: 3, Proc: "main"}}}, http.StatusBadRequest},
 		{"stmt without proc", SliceRequest{Program: workload.Fig1Source,
 			Criteria: []CriterionRequest{{Kind: "stmt", Stmt: "g1 = a"}}}, http.StatusBadRequest},
 		{"negative workers", SliceRequest{Program: workload.Fig1Source, Workers: -1,
@@ -305,6 +310,142 @@ func TestSliceValidation(t *testing.T) {
 			t.Errorf("status %d, want 405", resp.StatusCode)
 		}
 	})
+}
+
+// TestSliceDedupResponseAttribution: concurrent requests for one uncached
+// version share a single build; only the request whose closure did the
+// work may report advanced/disk_warm, every waiter reports deduped.
+// Regression test: waiters used to echo the builder's path, so several
+// responses claimed the same advance.
+func TestSliceDedupResponseAttribution(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	crit := []CriterionRequest{{Kind: "printf", Proc: "main"}}
+
+	// Warm v1 so v2's one build is an advance along the version chain.
+	if status, _, raw := postSlice(t, ts.URL, SliceRequest{Program: workload.Fig1Source, Criteria: crit}); status != http.StatusOK {
+		t.Fatalf("warm v1: status %d: %s", status, raw)
+	}
+	v2 := strings.Replace(workload.Fig1Source, "g2 = 100", "g2 = 101", 1)
+	if v2 == workload.Fig1Source {
+		t.Fatal("edit did not change the source")
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	responses := make([]SliceResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(SliceRequest{Program: v2, Criteria: crit, NoSource: true})
+			resp, err := http.Post(ts.URL+"/v1/slice", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&responses[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var advanced, deduped, hits int64
+	for i, r := range responses {
+		if r.Deduped && (r.Advanced || r.DiskWarm || r.CacheHit) {
+			t.Errorf("client %d: deduped response claims the builder's work: %+v", i, r)
+		}
+		if r.CacheHit && (r.Advanced || r.DiskWarm) {
+			t.Errorf("client %d: RAM hit claims a build path: %+v", i, r)
+		}
+		if r.Advanced {
+			advanced++
+		}
+		if r.Deduped {
+			deduped++
+		}
+		if r.CacheHit {
+			hits++
+		}
+	}
+	// Exactly one of the clients built v2 (singleflight), and its build
+	// advanced the warm v1 engine; everyone else either joined that build
+	// (deduped) or arrived after it landed in the LRU (hit). The split
+	// between waiters and hits is timing, the total is not.
+	if advanced != 1 {
+		t.Errorf("%d responses claim the advance, want exactly 1", advanced)
+	}
+	if advanced+deduped+hits != clients {
+		t.Errorf("responses unaccounted for: advanced=%d deduped=%d hits=%d of %d",
+			advanced, deduped, hits, clients)
+	}
+	st := getStats(t, ts.URL)
+	if deduped != st.Cache.Deduped {
+		t.Errorf("%d deduped responses but the cache counted %d", deduped, st.Cache.Deduped)
+	}
+}
+
+// TestSliceMaxSizeCriteriaBatch: the request-size cap must admit a
+// maximum-size valid batch — MaxCriteria stmt criteria with long texts
+// and labels. Regression test: the cap was sized from MaxProgramBytes
+// alone, so full-width criterion batches drew a spurious 413.
+func TestSliceMaxSizeCriteriaBatch(t *testing.T) {
+	const maxCriteria = 256
+	_, ts := newTestServer(t, Config{MaxProgramBytes: 2048, MaxCriteria: maxCriteria})
+	crit := make([]CriterionRequest, maxCriteria)
+	for i := range crit {
+		crit[i] = CriterionRequest{
+			Kind:  "stmt",
+			Proc:  "main",
+			Stmt:  "g2 = 100",
+			Label: fmt.Sprintf("%0300d", i), // long client labels are legal
+		}
+	}
+	req := SliceRequest{Program: workload.Fig1Source, Criteria: crit, NoSource: true}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The regression condition: this valid request is bigger than the old
+	// cap of 2*MaxProgramBytes + 64 KiB.
+	if oldCap := int64(2*2048 + 1<<16); int64(len(body)) <= oldCap {
+		t.Fatalf("test body %d bytes does not exceed the old cap %d", len(body), oldCap)
+	}
+	status, resp, raw := postSlice(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", status, raw)
+	}
+	if len(resp.Results) != maxCriteria {
+		t.Fatalf("got %d results, want %d", len(resp.Results), maxCriteria)
+	}
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("result %d: %s", i, r.Error)
+		}
+	}
+}
+
+// TestWriteJSONEncodeFailureCounted: an encode failure after the status
+// line is written cannot change the response any more, but it must not
+// vanish either — it is logged and counted in the server stats.
+// Regression test: the encoder's error was silently discarded.
+func TestWriteJSONEncodeFailureCounted(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// NaN has no JSON encoding, so this encode fails deterministically.
+	s.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]float64{"bad": math.NaN()})
+	if st := getStats(t, ts.URL); st.ResponseEncodeErrors != 1 {
+		t.Errorf("response_encode_errors = %d, want 1", st.ResponseEncodeErrors)
+	}
+	// A clean response does not move the counter.
+	s.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]int{"ok": 1})
+	if st := getStats(t, ts.URL); st.ResponseEncodeErrors != 1 {
+		t.Errorf("counter moved on a successful encode: %d", st.ResponseEncodeErrors)
+	}
 }
 
 // loadPrograms returns the mixed corpus the load test rotates through:

@@ -210,25 +210,25 @@ func TestVersionChainEvictedAncestorFallsBackCold(t *testing.T) {
 	fam := FamilyKey(specslice.MustParse(versionBase).ProcNames())
 	v1, v2, v3 := versionBase, versionEdit(1), versionEdit(2)
 
-	if _, _, src, err := cache.Get(ContentKey(v1), fam, build(v1)); err != nil || src != BuildCold {
+	if _, _, _, src, err := cache.Get(ContentKey(v1), fam, build(v1)); err != nil || src != BuildCold {
 		t.Fatalf("v1: source=%v err=%v", src, err)
 	}
-	if _, _, src, err := cache.Get(ContentKey(v2), fam, build(v2)); err != nil || src != BuildAdvance {
+	if _, _, _, src, err := cache.Get(ContentKey(v2), fam, build(v2)); err != nil || src != BuildAdvance {
 		t.Fatalf("v2: source=%v err=%v, want advance", src, err)
 	}
 	// v1 was evicted by v2's insert, but the family head now points at v2,
 	// so v3 still advances.
-	if _, _, src, err := cache.Get(ContentKey(v3), fam, build(v3)); err != nil || src != BuildAdvance {
+	if _, _, _, src, err := cache.Get(ContentKey(v3), fam, build(v3)); err != nil || src != BuildAdvance {
 		t.Fatalf("v3: source=%v err=%v, want advance from v2", src, err)
 	}
 	// Evict v3 with an unrelated family: the chain head is gone, so the
 	// next member of the old family cold-builds.
 	other := workload.Fig1Source
-	if _, _, _, err := cache.Get(ContentKey(other), FamilyKey(specslice.MustParse(other).ProcNames()), build(other)); err != nil {
+	if _, _, _, _, err := cache.Get(ContentKey(other), FamilyKey(specslice.MustParse(other).ProcNames()), build(other)); err != nil {
 		t.Fatal(err)
 	}
 	v4 := versionEdit(3)
-	if _, _, src, err := cache.Get(ContentKey(v4), fam, build(v4)); err != nil || src != BuildCold {
+	if _, _, _, src, err := cache.Get(ContentKey(v4), fam, build(v4)); err != nil || src != BuildCold {
 		t.Fatalf("v4 after eviction: source=%v err=%v, want cold", src, err)
 	}
 	st := cache.Stats()
