@@ -24,6 +24,23 @@
 // GET /v1/stats, GET /healthz) backed by a content-addressed engine cache;
 // see internal/server and the README's Serving section.
 //
+// The route subcommand runs the sharded topology on one machine: it
+// spawns N `specslice serve` workers as subprocesses on ephemeral
+// loopback ports and fronts them with the coordinator/router, which
+// consistent-hashes program families across the workers, deduplicates
+// in-flight builds cluster-wide, health-checks membership (rebalancing
+// deterministically when a worker dies or recovers), and applies
+// per-tenant token-bucket admission plus hot-shard load-shedding (429 +
+// Retry-After):
+//
+//	specslice route -workers 4 -addr :8080
+//	specslice route -workers 4 -tenant-rate 200 -shard-inflight 64
+//
+// On SIGINT/SIGTERM the router drains in-flight requests, then each
+// worker is terminated gracefully (workers drain and close their stores
+// cleanly). See internal/cluster and the README's Sharded serving
+// section.
+//
 // The bench subcommand drives a named workload scenario (read_heavy,
 // write_heavy, balanced) against the real HTTP slice path with an
 // open-loop Zipfian schedule and prints the tail-latency report:
@@ -49,8 +66,11 @@ import (
 	"time"
 
 	"encoding/json"
+	"net/http"
+	"path/filepath"
 
 	"specslice"
+	"specslice/internal/cluster"
 	"specslice/internal/loadgen"
 	"specslice/internal/server"
 )
@@ -104,6 +124,96 @@ func serve(args []string) {
 	log.Printf("specslice: drained, bye")
 }
 
+// route runs the sharded serving topology: N spawned worker subprocesses
+// behind the consistent-hash router, until SIGINT/SIGTERM.
+func route(args []string) {
+	fs := flag.NewFlagSet("specslice route", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "router listen address")
+	workers := fs.Int("workers", 4, "worker subprocesses to spawn")
+	cacheEntries := fs.Int("cache-entries", 64, "per-worker engine cache entry budget (<0 = unbounded)")
+	cacheMB := fs.Int64("cache-mb", 512, "per-worker engine cache byte budget in MiB (<0 = unbounded)")
+	maxProgramKB := fs.Int64("max-program-kb", 1024, "largest accepted program source in KiB")
+	maxCriteria := fs.Int("max-criteria", 256, "largest accepted criterion batch")
+	storeDir := fs.String("store-dir", "", "base directory for per-worker persistent stores (empty = RAM only; worker i uses <dir>/wi)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant admitted requests/sec (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = ceil(rate))")
+	shardInFlight := fs.Int64("shard-inflight", 128, "per-shard in-flight depth before shedding (<0 = unlimited)")
+	shardHotMB := fs.Int64("shard-hot-mb", 0, "per-shard cache byte budget before shedding, in MiB (0 = disabled)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: specslice route [flags]")
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fatal(fmt.Errorf("route needs at least 1 worker"))
+	}
+
+	bin, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	procs, err := cluster.SpawnWorkers(bin, *workers, func(i int) []string {
+		wargs := []string{
+			"-cache-entries", strconv.Itoa(*cacheEntries),
+			"-cache-mb", strconv.FormatInt(*cacheMB, 10),
+			"-max-program-kb", strconv.FormatInt(*maxProgramKB, 10),
+			"-max-criteria", strconv.Itoa(*maxCriteria),
+		}
+		if *storeDir != "" {
+			wargs = append(wargs, "-store-dir", filepath.Join(*storeDir, fmt.Sprintf("w%d", i)))
+		}
+		return wargs
+	})
+	if err != nil {
+		fatal(err)
+	}
+	stopWorkers := func() {
+		for _, p := range procs {
+			if err := p.Stop(15 * time.Second); err != nil {
+				log.Printf("specslice route: %v", err)
+			}
+		}
+	}
+
+	rt := cluster.NewRouter(cluster.Config{
+		MaxProgramBytes:  *maxProgramKB << 10,
+		MaxCriteria:      *maxCriteria,
+		TenantRatePerSec: *tenantRate,
+		TenantBurst:      *tenantBurst,
+		ShardMaxInFlight: *shardInFlight,
+		ShardHotBytes:    *shardHotMB << 20,
+	})
+	for _, p := range procs {
+		rt.AddWorker(p.ID, p.URL())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt.Start(ctx)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		stopWorkers()
+		fatal(err)
+	}
+	log.Printf("specslice route: listening on %s (%d workers)", ln.Addr(), len(procs))
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		stopWorkers()
+		fatal(err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("specslice route: shutdown: %v", err)
+	}
+	stopWorkers()
+	log.Printf("specslice route: drained, bye")
+}
+
 // bench runs one workload scenario and prints its report as JSON.
 func bench(args []string) {
 	fs := flag.NewFlagSet("specslice bench", flag.ExitOnError)
@@ -154,6 +264,10 @@ func bench(args []string) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serve(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "route" {
+		route(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {

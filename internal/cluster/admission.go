@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic refill-on-read rate limiter: capacity `burst`
+// tokens, refilled at `rate` tokens/sec, one token per admitted request.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take admits one request if a token is available, else reports how long
+// until the next token accrues (the Retry-After hint).
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// admitter holds one token bucket per tenant. Tenants are identified by
+// the X-Tenant request header; requests without one share the "default"
+// bucket, so an anonymous flood cannot starve named tenants.
+type admitter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newAdmitter(rate float64, burst int, now func() time.Time) *admitter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &admitter{rate: rate, burst: float64(burst), now: now, buckets: map[string]*tokenBucket{}}
+}
+
+// admit charges one request to the tenant's bucket. A zero or negative
+// rate disables tenant limiting entirely.
+func (a *admitter) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	if a == nil || a.rate <= 0 {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{rate: a.rate, burst: a.burst, tokens: a.burst, last: a.now()}
+		a.buckets[tenant] = b
+	}
+	return b.take(a.now())
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func syntheticFamilies(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Realistic family keys are hex SHA-256 strings; the exact shape
+		// does not matter because Lookup hashes its input, but keep them
+		// key-like and distinct.
+		out[i] = fmt.Sprintf("family-%04d-abcdef", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAndBalanced: family → shard assignment must be a
+// pure function of the member set (two independently built rings agree on
+// every family, regardless of registration order), and 1k synthetic
+// families over 4 shards must spread within tolerance — no shard may hold
+// under half or over double its fair share.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	members := []string{"w0", "w1", "w2", "w3"}
+	a := NewRing(members)
+	b := NewRing([]string{"w3", "w1", "w0", "w2", "w1"}) // shuffled + dup
+
+	fams := syntheticFamilies(1000)
+	counts := map[string]int{}
+	for _, f := range fams {
+		ga, oka := a.Lookup(f)
+		gb, okb := b.Lookup(f)
+		if !oka || !okb {
+			t.Fatalf("lookup %q failed (ok %v/%v)", f, oka, okb)
+		}
+		if ga != gb {
+			t.Fatalf("placement of %q differs across identical member sets: %q vs %q", f, ga, gb)
+		}
+		counts[ga]++
+	}
+	if len(counts) != len(members) {
+		t.Fatalf("only %d of %d shards own families: %v", len(counts), len(members), counts)
+	}
+	mean := float64(len(fams)) / float64(len(members))
+	for id, n := range counts {
+		if float64(n) < 0.5*mean || float64(n) > 2.0*mean {
+			t.Errorf("shard %s holds %d of %d families (mean %.0f) — outside [0.5, 2.0]x tolerance: %v",
+				id, n, len(fams), mean, counts)
+		}
+	}
+	t.Logf("distribution over %d families: %v", len(fams), counts)
+}
+
+// TestRingRebalanceStability is the consistent-hashing contract: removing
+// one shard remaps exactly the families that lived on it — every other
+// family keeps its assignment, and the orphans spread over the survivors.
+func TestRingRebalanceStability(t *testing.T) {
+	before := NewRing([]string{"w0", "w1", "w2", "w3"})
+	after := NewRing([]string{"w0", "w1", "w3"}) // w2 left
+
+	fams := syntheticFamilies(1000)
+	remapped, orphanDest := 0, map[string]int{}
+	for _, f := range fams {
+		was, _ := before.Lookup(f)
+		now, _ := after.Lookup(f)
+		if was != "w2" {
+			if now != was {
+				t.Fatalf("family %q moved %q → %q although its shard did not leave", f, was, now)
+			}
+			continue
+		}
+		remapped++
+		if now == "w2" {
+			t.Fatalf("family %q still maps to the removed shard", f)
+		}
+		orphanDest[now]++
+	}
+	if remapped == 0 {
+		t.Fatal("no family lived on the removed shard — the test proves nothing")
+	}
+	if len(orphanDest) < 2 {
+		t.Errorf("all %d orphaned families landed on one survivor: %v", remapped, orphanDest)
+	}
+	t.Logf("%d orphans redistributed: %v", remapped, orphanDest)
+}
+
+// TestRingAdditionStability: the mirror property — adding a shard steals
+// families only for the newcomer; nothing moves between old members.
+func TestRingAdditionStability(t *testing.T) {
+	before := NewRing([]string{"w0", "w1", "w2"})
+	after := NewRing([]string{"w0", "w1", "w2", "w3"})
+	stolen := 0
+	for _, f := range syntheticFamilies(1000) {
+		was, _ := before.Lookup(f)
+		now, _ := after.Lookup(f)
+		if now == "w3" {
+			stolen++
+			continue
+		}
+		if now != was {
+			t.Fatalf("family %q moved %q → %q on an unrelated join", f, was, now)
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("new shard stole nothing")
+	}
+	t.Logf("new shard took %d of 1000 families", stolen)
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil)
+	if _, ok := r.Lookup("anything"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	if got := len(r.Members()); got != 0 {
+		t.Errorf("empty ring has %d members", got)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -73,7 +74,11 @@ func TestRunWorkloadsSmoke(t *testing.T) {
 	if err := eb.RunWorkloads(time.Second, 1); err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]bool{"read_heavy": true, "write_heavy": true, "balanced": true}
+	want := map[string]bool{
+		"read_heavy": true, "write_heavy": true, "balanced": true,
+		"read_heavy_routed_1":                             true,
+		fmt.Sprintf("read_heavy_routed_%d", RoutedShards): true,
+	}
 	if len(eb.Workloads) != len(want) {
 		t.Fatalf("%d workload reports, want %d", len(eb.Workloads), len(want))
 	}
@@ -82,6 +87,34 @@ func TestRunWorkloadsSmoke(t *testing.T) {
 			t.Errorf("unexpected workload %q", w.Name)
 		}
 		delete(want, w.Name)
+		// Routed rows must carry the shard evidence: one forward counter
+		// per shard, summing to at least the completed ops. At this smoke
+		// duration the Zipf tail may never schedule a cold family, so a
+		// multi-shard run only has to spread past a single shard — the
+		// all-shards-busy balance check lives in loadgen's 2s acceptance
+		// test (TestRunRoutedReadHeavy).
+		if w.Shards > 0 {
+			if len(w.ShardRouted) != w.Shards {
+				t.Errorf("%s: shard_routed has %d entries, want %d", w.Name, len(w.ShardRouted), w.Shards)
+			}
+			var busy int
+			var forwards int64
+			for _, n := range w.ShardRouted {
+				if n > 0 {
+					busy++
+				}
+				forwards += n
+			}
+			// Ops counts completed requests including 429s, which never
+			// reach a shard — only the non-shed remainder must forward.
+			if forwards < w.Ops-w.ServerShed {
+				t.Errorf("%s: forwards %d < completed ops %d - sheds %d",
+					w.Name, forwards, w.Ops, w.ServerShed)
+			}
+			if w.Shards > 1 && busy < 2 {
+				t.Errorf("%s: only %d of %d shards received forwards", w.Name, busy, w.Shards)
+			}
+		}
 		if w.Errors != 0 {
 			t.Errorf("%s: %d request errors, want 0", w.Name, w.Errors)
 		}
@@ -92,9 +125,9 @@ func TestRunWorkloadsSmoke(t *testing.T) {
 			t.Errorf("%s: quantiles not positive and monotone: p50=%d p99=%d p999=%d",
 				w.Name, w.P50NS, w.P99NS, w.P999NS)
 		}
-		if w.Cache.Hits+w.Cache.Misses != w.Ops {
-			t.Errorf("%s: cache delta hits %d + misses %d != ops %d",
-				w.Name, w.Cache.Hits, w.Cache.Misses, w.Ops)
+		if w.Cache.Hits+w.Cache.Misses != w.Ops-w.ServerShed {
+			t.Errorf("%s: cache delta hits %d + misses %d != ops %d - sheds %d",
+				w.Name, w.Cache.Hits, w.Cache.Misses, w.Ops, w.ServerShed)
 		}
 	}
 }

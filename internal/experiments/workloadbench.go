@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"specslice/internal/loadgen"
@@ -15,6 +16,11 @@ import (
 // seed) arguments replay comparable runs across commits.
 func (eb *EngineBench) RunWorkloads(duration time.Duration, seed int64) error {
 	for _, sc := range loadgen.Scenarios() {
+		// The bench phases before this block leave a large dead heap; on a
+		// small box the collector working through it steals enough CPU to
+		// inflate the measured serving tail several-fold. Collect up front
+		// so each scenario's tail is its own.
+		runtime.GC()
 		sched, err := loadgen.BuildSchedule(sc, 0, duration, seed)
 		if err != nil {
 			return fmt.Errorf("experiments: %s schedule: %w", sc.Name, err)
@@ -25,5 +31,32 @@ func (eb *EngineBench) RunWorkloads(duration time.Duration, seed int64) error {
 		}
 		eb.Workloads = append(eb.Workloads, *rep)
 	}
+	// Routed mode: the same read_heavy schedule through the
+	// coordinator/router at 1 shard (the router's own overhead) and at
+	// RoutedShards shards (the scaling configuration). Identical
+	// schedules, so the rows are comparable to the direct read_heavy row
+	// above; CI gates errors == 0 and a live forward count on every
+	// shard.
+	sc, err := loadgen.ScenarioByName("read_heavy")
+	if err != nil {
+		return err
+	}
+	for _, shards := range []int{1, RoutedShards} {
+		runtime.GC()
+		sched, err := loadgen.BuildSchedule(sc, 0, duration, seed)
+		if err != nil {
+			return fmt.Errorf("experiments: routed %s schedule: %w", sc.Name, err)
+		}
+		rep, err := loadgen.RunRouted(sched, shards, loadgen.Options{})
+		if err != nil {
+			return fmt.Errorf("experiments: routed %s run (%d shards): %w", sc.Name, shards, err)
+		}
+		eb.Workloads = append(eb.Workloads, *rep)
+	}
 	return nil
 }
+
+// RoutedShards is the multi-shard routed configuration's worker count.
+// Four shards is enough to make imbalance and remap bugs visible while
+// keeping the BENCH run cheap on small CI runners.
+const RoutedShards = 4

@@ -67,13 +67,22 @@ type Report struct {
 	P95NS  int64 `json:"p95_ns"`
 	P99NS  int64 `json:"p99_ns"`
 	P999NS int64 `json:"p999_ns"`
-	// Errors counts non-200 responses, transport failures, and per-
-	// criterion resolution errors; Shed counts arrivals dropped at the
-	// in-flight cap.
+	// Errors counts failed responses (non-2xx other than 429, transport
+	// failures) and per-criterion resolution errors; Shed counts arrivals
+	// dropped client-side at the in-flight cap. ServerShed counts 429s —
+	// the server's admission layer intentionally refusing load — which
+	// are deliberately not Errors: the CI errors == 0 gate must catch
+	// breakage, not load-shedding doing its job.
 	Errors     int64      `json:"errors"`
 	Shed       int64      `json:"shed"`
+	ServerShed int64      `json:"server_shed"`
 	DurationNS int64      `json:"duration_ns"`
 	Cache      CacheDelta `json:"cache"`
+	// Shards is the routed-mode shard count (0 = direct single-process
+	// run); ShardRouted is the per-shard count of forwards the router
+	// sent over this run, in worker order — the balance evidence.
+	Shards      int     `json:"shards"`
+	ShardRouted []int64 `json:"shard_routed,omitempty"`
 }
 
 // Run executes a schedule against the slicing service at baseURL
@@ -106,7 +115,7 @@ func Run(baseURL string, sched *Schedule, opts Options) (*Report, error) {
 		TargetOpsPerSec: sched.Rate,
 	}
 	type counters struct {
-		ops, writes, errors int64
+		ops, writes, errors, serverShed int64
 	}
 	done := make(chan counters, len(sched.Ops))
 	sem := make(chan struct{}, opts.MaxInFlight)
@@ -132,9 +141,10 @@ func Run(baseURL string, sched *Schedule, opts Options) (*Report, error) {
 				c.writes = 1
 			}
 			t0 := time.Now()
-			errs := doSlice(client, baseURL, sched.Sources[op.Program], op.Criteria)
+			errs, shed := doSlice(client, baseURL, sched.Sources[op.Program], op.Criteria)
 			hist.Record(time.Since(t0))
 			c.errors = errs
+			c.serverShed = shed
 			done <- c
 		}(op)
 	}
@@ -143,6 +153,7 @@ func Run(baseURL string, sched *Schedule, opts Options) (*Report, error) {
 		rep.Ops += c.ops
 		rep.Writes += c.writes
 		rep.Errors += c.errors
+		rep.ServerShed += c.serverShed
 	}
 	elapsed := time.Since(start)
 
@@ -169,36 +180,42 @@ func Run(baseURL string, sched *Schedule, opts Options) (*Report, error) {
 }
 
 // doSlice posts one batch and returns the number of failures it observed
-// (0 on a fully clean response; transport and status failures count 1).
-func doSlice(client *http.Client, baseURL, program string, criteria []server.CriterionRequest) int64 {
+// (0 on a fully clean response; transport and status failures count 1)
+// plus whether the server shed the request. A 429 is the admission layer
+// refusing load on purpose — an availability event, not a failure — so it
+// counts as serverShed, never as an error.
+func doSlice(client *http.Client, baseURL, program string, criteria []server.CriterionRequest) (errs, serverShed int64) {
 	body, err := json.Marshal(server.SliceRequest{
 		Program:  program,
 		Criteria: criteria,
 		NoSource: true, // tail measurement, not output consumption
 	})
 	if err != nil {
-		return 1
+		return 1, 0
 	}
 	resp, err := client.Post(baseURL+"/v1/slice", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 1
+		return 1, 0
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return 0, 1
+	}
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return 1
+		return 1, 0
 	}
 	var out server.SliceResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 1
+		return 1, 0
 	}
-	var errs int64
 	for _, r := range out.Results {
 		if r.Error != "" {
 			errs++
 		}
 	}
-	return errs
+	return errs, 0
 }
 
 func fetchStats(client *http.Client, baseURL string) (*server.StatsResponse, error) {

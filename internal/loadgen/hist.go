@@ -66,17 +66,24 @@ func (h *Histogram) Count() int64 { return h.total.Load() }
 // Quantile returns the upper bound of the bucket holding the q-quantile
 // (0 < q <= 1) of the recorded observations, or 0 when empty. Overflowed
 // observations report the histogram's max bound — by then the number is
-// "off the scale", which for a latency SLO reads the right way.
+// "off the scale", which for a latency SLO reads the right way. A q
+// outside (0, 1] panics, like a bad histogram shape: there is no
+// conservative answer to return for it.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	if !(q > 0 && q <= 1) { // the negation also rejects NaN
+		panic(fmt.Sprintf("loadgen: quantile %v outside (0, 1]", q))
+	}
 	total := h.total.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(total))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > total {
+	// The q-quantile's rank is the smallest integer covering a q fraction
+	// of the samples: ceil(q·total). Truncating instead would floor the
+	// rank — p99 of 10 samples would read the 9th-ranked bucket and
+	// under-report the tail, breaking the "never under the true value"
+	// guarantee above.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank > total { // float round-up past the top at q == 1
 		rank = total
 	}
 	var cum int64

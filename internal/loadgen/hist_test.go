@@ -93,6 +93,64 @@ func TestHistogramQuantilesKnownDistribution(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileCeilRank is the regression test for the rank
+// truncation bug: int64(q*total) floors the rank, so p99 of 10 samples
+// read the 9th-ranked bucket — under the true tail, violating the "never
+// under the true value" contract. The rank must be ceil(q·total).
+func TestHistogramQuantileCeilRank(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 10 samples spread over distinct buckets: 1ms, 2ms, ..., 10ms.
+	for i := 1; i <= 10; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	// p99 of 10 samples is the 10th-ranked sample (ceil(9.9) = 10): the
+	// report must cover the 10ms maximum, not the floored 9th rank.
+	if got := h.Quantile(0.99); got < 10*time.Millisecond {
+		t.Errorf("p99 of 10 samples = %v, under-reports the 10ms max (rank floored)", got)
+	}
+	// p95 → rank ceil(9.5) = 10 as well.
+	if got := h.Quantile(0.95); got < 10*time.Millisecond {
+		t.Errorf("p95 of 10 samples = %v, under-reports the 10ms max", got)
+	}
+	// p50 of 10 → rank ceil(5) = 5: exactly the 5th sample's bucket, and
+	// never the 6th — ceil must not overshoot exact ranks.
+	if got := h.Quantile(0.50); got < 5*time.Millisecond || got >= 6*time.Millisecond {
+		t.Errorf("p50 of 10 samples = %v, want the 5ms sample's bucket", got)
+	}
+	// Two samples: the q just above 1/2 must report the larger one.
+	h2 := NewLatencyHistogram()
+	h2.Record(time.Millisecond)
+	h2.Record(10 * time.Millisecond)
+	if got := h2.Quantile(0.51); got < 10*time.Millisecond {
+		t.Errorf("q0.51 of {1ms, 10ms} = %v, want the 10ms bucket", got)
+	}
+	// One sample: every quantile is that sample.
+	h3 := NewLatencyHistogram()
+	h3.Record(3 * time.Millisecond)
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := h3.Quantile(q); got < 3*time.Millisecond {
+			t.Errorf("q%v of a single 3ms sample = %v", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileRejectsBadQ: q outside (0, 1] has no conservative
+// answer and must panic like a malformed histogram shape.
+func TestHistogramQuantileRejectsBadQ(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(time.Millisecond)
+	for _, q := range []float64{0, -0.5, 1.0001, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewLatencyHistogram()
 	if q := h.Quantile(0.99); q != 0 {

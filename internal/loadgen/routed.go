@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"specslice/internal/cluster"
+	"specslice/internal/server"
+)
+
+// RunRouted is RunInProcess through the sharded topology: it boots an
+// in-process cluster (a router fronting `shards` slicing servers, real
+// HTTP between them), runs the schedule against the router, and augments
+// the report with the routed-mode fields — the shard count, the per-shard
+// forward distribution, and a name suffix so direct and routed rows of
+// the same scenario coexist in BENCH_engine.json.
+func RunRouted(sched *Schedule, shards int, opts Options) (*Report, error) {
+	scfg := server.Config{}
+	if sched.Scenario.CacheEntries > 0 {
+		scfg.CacheMaxEntries = sched.Scenario.CacheEntries
+	}
+	lc, err := cluster.StartLocal(shards, scfg, cluster.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer lc.Close()
+
+	rep, err := Run(lc.URL(), sched, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Name = fmt.Sprintf("%s_routed_%d", sched.Scenario.Name, shards)
+	rep.Shards = shards
+	routed, err := fetchShardRouted(lc.URL())
+	if err != nil {
+		return nil, err
+	}
+	rep.ShardRouted = routed
+	return rep, nil
+}
+
+// fetchShardRouted reads the per-shard forward counts from the router's
+// shards stats block.
+func fetchShardRouted(baseURL string) ([]int64, error) {
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: router stats status %d", resp.StatusCode)
+	}
+	var st cluster.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(st.Shards))
+	for _, sh := range st.Shards {
+		out = append(out, sh.Routed)
+	}
+	return out, nil
+}
