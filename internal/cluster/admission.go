@@ -33,6 +33,12 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 // admitter holds one token bucket per tenant. Tenants are identified by
 // the X-Tenant request header; requests without one share the "default"
 // bucket, so an anonymous flood cannot starve named tenants.
+//
+// The tenant name is client-controlled, so the bucket map is bounded:
+// past maxTenantBuckets distinct tenants, buckets idle long enough to be
+// indistinguishable from fresh ones are evicted, and if the map is still
+// full, new tenants charge the shared "default" bucket instead of
+// allocating — a random-tenant flood costs memory once, not per request.
 type admitter struct {
 	rate  float64
 	burst float64
@@ -41,6 +47,9 @@ type admitter struct {
 	mu      sync.Mutex
 	buckets map[string]*tokenBucket
 }
+
+// maxTenantBuckets caps distinct per-tenant buckets held at once.
+const maxTenantBuckets = 4096
 
 func newAdmitter(rate float64, burst int, now func() time.Time) *admitter {
 	if now == nil {
@@ -63,10 +72,34 @@ func (a *admitter) admit(tenant string) (ok bool, retryAfter time.Duration) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	now := a.now()
 	b := a.buckets[tenant]
 	if b == nil {
-		b = &tokenBucket{rate: a.rate, burst: a.burst, tokens: a.burst, last: a.now()}
-		a.buckets[tenant] = b
+		if len(a.buckets) >= maxTenantBuckets {
+			a.pruneLocked(now)
+		}
+		if len(a.buckets) >= maxTenantBuckets && tenant != "default" {
+			// Still full after pruning: every held bucket is active. Charge
+			// the shared default bucket rather than growing without bound.
+			tenant = "default"
+			b = a.buckets[tenant]
+		}
+		if b == nil {
+			b = &tokenBucket{rate: a.rate, burst: a.burst, tokens: a.burst, last: now}
+			a.buckets[tenant] = b
+		}
 	}
-	return b.take(a.now())
+	return b.take(now)
+}
+
+// pruneLocked evicts buckets idle long enough to have fully refilled —
+// such a bucket behaves identically to a freshly allocated one, so
+// dropping it changes no admission decision.
+func (a *admitter) pruneLocked(now time.Time) {
+	idle := time.Duration(a.burst / a.rate * float64(time.Second))
+	for tenant, b := range a.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(a.buckets, tenant)
+		}
+	}
 }

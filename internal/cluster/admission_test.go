@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAdmitterBoundedBuckets: the tenant name is client-controlled, so a
+// flood of distinct names must not grow the bucket map without bound —
+// past the cap, active buckets stay, new tenants charge the shared
+// default bucket, and idle buckets are evicted once they have fully
+// refilled (at which point they are indistinguishable from fresh ones).
+func TestAdmitterBoundedBuckets(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	// burst/rate = 100ms: a bucket idle that long has fully refilled.
+	a := newAdmitter(100, 10, clock)
+
+	if ok, _ := a.admit(""); !ok {
+		t.Fatal("default tenant rejected on first request")
+	}
+	for i := 0; i < maxTenantBuckets+64; i++ {
+		a.admit(fmt.Sprintf("tenant-%d", i))
+	}
+	if n := len(a.buckets); n != maxTenantBuckets {
+		t.Fatalf("bucket map holds %d entries after a random-tenant flood, want cap %d", n, maxTenantBuckets)
+	}
+
+	// Every bucket is active (the clock is frozen), so overflow tenants
+	// must be charging the shared default bucket: drain it and a
+	// never-seen tenant gets rejected without allocating.
+	for i := 0; i < 20; i++ {
+		a.admit("")
+	}
+	before := len(a.buckets)
+	if ok, retry := a.admit("never-seen"); ok || retry <= 0 {
+		t.Errorf("overflow tenant admitted (ok=%v retry=%v) despite drained default bucket", ok, retry)
+	}
+	if len(a.buckets) != before {
+		t.Errorf("overflow tenant allocated a bucket: %d -> %d entries", before, len(a.buckets))
+	}
+
+	// After the refill window passes, the idle buckets are evictable and a
+	// new tenant gets its own bucket again.
+	now = now.Add(200 * time.Millisecond)
+	if ok, _ := a.admit("fresh-after-idle"); !ok {
+		t.Error("new tenant rejected after idle buckets became evictable")
+	}
+	if n := len(a.buckets); n >= maxTenantBuckets {
+		t.Errorf("idle buckets not pruned: %d entries remain", n)
+	}
+}

@@ -152,7 +152,15 @@ func NewRouter(cfg Config) *Router {
 		warm:     map[string]int64{},
 	}
 	if rt.client == nil {
-		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+		// ResponseHeaderTimeout bounds how long a wedged worker — one that
+		// accepted the forward but never answers — can hold the leader and
+		// its singleflight waiters. It must comfortably exceed the slowest
+		// legitimate build; the generous bound exists to fail the forward
+		// eventually, not to police latency (shedding does that).
+		rt.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost:   256,
+			ResponseHeaderTimeout: 2 * time.Minute,
+		}}
 	}
 	rt.mux.HandleFunc("POST /v1/slice", rt.handleSlice)
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
@@ -468,7 +476,14 @@ func (rt *Router) handleSlice(w http.ResponseWriter, r *http.Request) {
 				if fl, inFlight := rt.building[key]; inFlight {
 					rt.dedupWaits++
 					rt.mu.Unlock()
-					<-fl.done
+					select {
+					case <-fl.done:
+					case <-r.Context().Done():
+						// The client gave up while queued behind the
+						// leader; nothing to answer and nothing to charge
+						// against the worker.
+						return
+					}
 					waited = true
 					continue // re-pick: membership may have changed while waiting
 				}
@@ -495,6 +510,14 @@ func (rt *Router) handleSlice(w http.ResponseWriter, r *http.Request) {
 			close(leading.done)
 		}
 		if err != nil {
+			// A forward that failed because the *client* went away — its
+			// context cancelled on disconnect or expired on deadline — says
+			// nothing about the worker's health. Demoting here would let one
+			// aborted request (retried against a context that fails
+			// instantly) mark healthy workers down and empty the ring.
+			if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return
+			}
 			lastErr = err
 			rt.markWorkerDown(id, err)
 			rt.mu.Lock()
@@ -597,10 +620,20 @@ type StatsResponse struct {
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	// healthy and draining are plain fields written under rt.mu by probes,
+	// forward failures, and drains — copy them into the snapshot while
+	// still holding the lock. The atomics on workerState and the immutable
+	// id/url are safe to read after release.
+	type shardSnap struct {
+		ws       *workerState
+		healthy  bool
+		draining bool
+	}
 	rt.mu.Lock()
-	snapshot := make([]*workerState, 0, len(rt.order))
+	snapshot := make([]shardSnap, 0, len(rt.order))
 	for _, id := range rt.order {
-		snapshot = append(snapshot, rt.workers[id])
+		ws := rt.workers[id]
+		snapshot = append(snapshot, shardSnap{ws: ws, healthy: ws.healthy, draining: ws.draining})
 	}
 	resp := StatsResponse{
 		Router: RouterStats{
@@ -615,18 +648,19 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Unlock()
 
 	resp.UptimeNS = int64(time.Since(rt.start))
-	for _, ws := range snapshot {
+	for _, sn := range snapshot {
+		ws := sn.ws
 		row := ShardStats{
 			ID:       ws.id,
 			URL:      ws.url,
-			Healthy:  ws.healthy,
-			Draining: ws.draining,
+			Healthy:  sn.healthy,
+			Draining: sn.draining,
 			Routed:   ws.routed.Load(),
 			InFlight: ws.inFlight.Load(),
 			Shed:     ws.shed.Load(),
 		}
 		resp.Router.ShardShed += row.Shed
-		if ws.healthy {
+		if sn.healthy {
 			resp.Router.HealthyWorkers++
 			if st, err := rt.fetchWorkerStats(r.Context(), ws); err == nil {
 				row.Hits = st.Cache.Hits

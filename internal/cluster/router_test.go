@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -522,6 +523,99 @@ func TestRouterProbeRecovery(t *testing.T) {
 	rt.ProbeOnce(t.Context())
 	if got := len(rt.Ring().Members()); got != 1 {
 		t.Fatalf("ring members = %d after recovery, want 1", got)
+	}
+}
+
+// TestRouterClientCancelKeepsWorkerHealthy: a forward that fails because
+// the *client* disconnected must not demote the worker — one aborted
+// request must never rebalance the ring or empty it. A waiter queued at
+// the singleflight gate behind the cancelled leader must also unblock
+// when its own client gives up.
+func TestRouterClientCancelKeepsWorkerHealthy(t *testing.T) {
+	bw := newBlockingWorker()
+	defer bw.ts.Close()
+	defer close(bw.release)
+
+	rt := NewRouter(Config{})
+	rt.AddWorker("w0", bw.ts.URL)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	prog := testProgram("cancel", 1)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(leaderCtx, http.MethodPost,
+			ts.URL+"/v1/slice", bytes.NewReader(mustSliceBody(t, prog)))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		leaderErr <- err
+	}()
+	<-bw.arrived // the leader's forward is parked on the worker
+
+	// Same key: this request queues at the singleflight gate.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(waiterCtx, http.MethodPost,
+			ts.URL+"/v1/slice", bytes.NewReader(mustSliceBody(t, prog)))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for routerStats(t, ts.URL).Router.DedupWaits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the singleflight gate")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The waiter's client gives up: its handler must return even though
+	// the leader (and the worker) are still parked.
+	cancelWaiter()
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Error("waiter completed despite cancelled context")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still blocked at the singleflight gate")
+	}
+
+	// The leader's client gives up: the forward fails with the client's
+	// cancellation, which says nothing about worker health.
+	cancelLeader()
+	if err := <-leaderErr; err == nil {
+		t.Error("leader completed despite cancelled context")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := routerStats(t, ts.URL)
+		if st.Shards[0].InFlight == 0 {
+			if !st.Shards[0].Healthy {
+				t.Error("client cancellation marked the worker down")
+			}
+			if st.Router.Retries != 0 {
+				t.Errorf("client cancellation burned %d retries", st.Router.Retries)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader forward never unwound after cancellation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(rt.Ring().Members()); got != 1 {
+		t.Fatalf("ring members = %d after client cancellations, want 1", got)
 	}
 }
 

@@ -62,7 +62,8 @@ type Report struct {
 	Ops    int64 `json:"ops"`
 	Writes int64 `json:"writes"`
 	// Service-time quantiles from the log-bucket histogram, conservative
-	// to one bucket (~12%).
+	// to one bucket (~12%). Served requests only: server-shed 429s are
+	// excluded so routed rows stay comparable with direct ones.
 	P50NS  int64 `json:"p50_ns"`
 	P95NS  int64 `json:"p95_ns"`
 	P99NS  int64 `json:"p99_ns"`
@@ -142,7 +143,13 @@ func Run(baseURL string, sched *Schedule, opts Options) (*Report, error) {
 			}
 			t0 := time.Now()
 			errs, shed := doSlice(client, baseURL, sched.Sources[op.Program], op.Criteria)
-			hist.Record(time.Since(t0))
+			// Shed responses are near-instant 429s, not service: recording
+			// them would deflate the tail and break comparability between
+			// routed and direct rows. Quantiles cover served requests only
+			// (errors and timeouts included — stalls must surface).
+			if shed == 0 {
+				hist.Record(time.Since(t0))
+			}
 			c.errors = errs
 			c.serverShed = shed
 			done <- c

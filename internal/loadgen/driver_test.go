@@ -1,6 +1,8 @@
 package loadgen
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -87,6 +89,51 @@ func TestMixedLoadCacheInvariants(t *testing.T) {
 	if rep.Cache.Hits != c.Hits || rep.Cache.Misses != c.Misses ||
 		rep.Cache.Advances != c.Advances || rep.Cache.DiskHits != c.DiskHits {
 		t.Errorf("report delta %+v does not match server counters %+v", rep.Cache, c)
+	}
+}
+
+// TestRunExcludesShedFromQuantiles: a server-shed 429 is a near-instant
+// refusal, not service — recording it would deflate the reported tail and
+// break comparability between routed (shedding) and direct rows. Against
+// a server that sheds everything, the quantiles must stay empty while
+// every op is counted as server_shed, none as an error.
+func TestRunExcludesShedFromQuantiles(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/slice", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"shedding"}`)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"uptime_ns":1,"cache":{},"batches":0,"requests":0,"failed":0,"phases":{},"build":{},"builds_timed":0,"response_encode_errors":0}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	sc, err := ScenarioByName("read_heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(sc, 100, 500*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(ts.URL, sched, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors — shedding is availability, not breakage", rep.Errors)
+	}
+	if rep.ServerShed != rep.Ops {
+		t.Errorf("server_shed = %d, want every one of %d ops", rep.ServerShed, rep.Ops)
+	}
+	if rep.P50NS != 0 || rep.P999NS != 0 {
+		t.Errorf("shed responses leaked into the latency quantiles: p50=%d p999=%d", rep.P50NS, rep.P999NS)
 	}
 }
 
